@@ -1,0 +1,60 @@
+// Fig. 4: time to train a 2D-CNN for 10 epochs on 500 jobs, per transform.
+// Paper shape: one-hot costs far more than the other three (its input has
+// 128 channels); binary/simple/word2vec are comparable.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/predictor.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace prionn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const std::size_t n_jobs = args.jobs ? args.jobs : 500;
+  // 10 epochs as in the paper, scaled down by default for the single-core
+  // CI box; relative costs across transforms are preserved.
+  const std::size_t epochs = args.epochs ? args.epochs : 4;
+
+  bench::print_banner(
+      "Fig. 4",
+      "Seconds to train a 2D-CNN per transform (paper: 10 epochs x 500 jobs)",
+      "one-hot slowest by roughly an order of magnitude; others comparable",
+      std::to_string(epochs) + " epochs x " + std::to_string(n_jobs) +
+          " jobs, fast preset (relative ordering is the claim)");
+
+  trace::WorkloadGenerator gen(trace::WorkloadOptions::cab(
+      n_jobs + n_jobs / 8, args.seed));
+  auto jobs = trace::completed_jobs(gen.generate());
+  jobs.resize(std::min(jobs.size(), n_jobs));
+
+  util::Table table({"transform", "train seconds", "vs word2vec"});
+  double w2v_seconds = 0.0;
+  const core::Transform transforms[] = {
+      core::Transform::kWord2Vec, core::Transform::kBinary,
+      core::Transform::kSimple, core::Transform::kOneHot};
+  for (const auto t : transforms) {
+    core::PredictorOptions opts;
+    opts.image.transform = t;
+    opts.epochs = epochs;
+    opts.predict_io = false;  // Fig. 4 times the runtime model
+    core::PrionnPredictor predictor(opts);
+    if (t == core::Transform::kWord2Vec) {
+      std::vector<std::string> scripts;
+      for (const auto& j : jobs) scripts.push_back(j.script);
+      predictor.fit_embedding(scripts);
+    }
+    util::Timer timer;
+    predictor.train(jobs);
+    const double seconds = timer.seconds();
+    if (t == core::Transform::kWord2Vec) w2v_seconds = seconds;
+    table.add_row({std::string(core::transform_name(t)),
+                   util::fmt(seconds, 2),
+                   util::fmt(seconds / w2v_seconds, 2) + "x"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: one-hot >> binary ~ simple ~ word2vec\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 6: time to train each deep model (NN, 1D-CNN, 2D-CNN) with the
+// word2vec mapping. Paper shape: 1D-CNN < 2D-CNN < NN — the fully
+// connected network is the most expensive because its first layer spans
+// the whole flattened script.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/predictor.hpp"
+#include "trace/workload.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace prionn;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  const std::size_t n_jobs = args.jobs ? args.jobs : 500;
+  const std::size_t epochs = args.epochs ? args.epochs : 5;
+
+  bench::print_banner(
+      "Fig. 6", "Seconds to train each deep model with word2vec data",
+      "1D-CNN fastest, then 2D-CNN, NN slowest",
+      std::to_string(epochs) + " epochs x " + std::to_string(n_jobs) +
+          " jobs, paper-sized layer widths");
+
+  trace::WorkloadGenerator gen(
+      trace::WorkloadOptions::cab(n_jobs + n_jobs / 8, args.seed));
+  auto jobs = trace::completed_jobs(gen.generate());
+  jobs.resize(std::min(jobs.size(), n_jobs));
+  std::vector<std::string> scripts;
+  for (const auto& j : jobs) scripts.push_back(j.script);
+
+  util::Table table({"model", "train seconds"});
+  const core::ModelKind kinds[] = {core::ModelKind::kFullyConnected,
+                                   core::ModelKind::kCnn1d,
+                                   core::ModelKind::kCnn2d};
+  for (const auto kind : kinds) {
+    core::PredictorOptions opts;
+    opts.image.transform = core::Transform::kWord2Vec;
+    opts.model = kind;
+    // The ordering claim is about model architecture cost, so use the
+    // paper's layer widths rather than the fast preset.
+    opts.preset = core::ModelPreset::kPaper;
+    opts.epochs = epochs;
+    opts.predict_io = false;
+    core::PrionnPredictor predictor(opts);
+    predictor.fit_embedding(scripts);
+    util::Timer timer;
+    predictor.train(jobs);
+    table.add_row({std::string(core::model_name(kind)),
+                   util::fmt(timer.seconds(), 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: 1D-CNN < 2D-CNN < NN\n");
+  return 0;
+}

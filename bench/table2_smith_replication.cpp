@@ -1,0 +1,64 @@
+// Table 2: replication of the Smith/Foster/Taylor runtime-MAE comparison.
+// The paper fits its RF on SDSC95 and SDSC96 traces and reports MAE
+// (minutes): SDSC95 59.65 (Smith) -> 35.95 (their RF); SDSC96 74.56 ->
+// 76.69. We regenerate SDSC-like synthetic traces and run the same
+// protocol: walk the trace chronologically, refit periodically on a
+// trailing window, and measure MAE of the RF's runtime predictions.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "ml/random_forest.hpp"
+#include "trace/features.hpp"
+#include "trace/workload.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace prionn;
+
+namespace {
+
+double run_rf_mae(const trace::WorkloadOptions& options) {
+  trace::WorkloadGenerator gen(options);
+  const auto jobs = trace::completed_jobs(gen.generate());
+  const auto rf_pred = bench::online_random_forest(
+      jobs, [](const trace::JobRecord& j) { return j.runtime_minutes; },
+      /*retrain_interval=*/200, /*train_window=*/1000);
+  std::vector<double> truth, pred;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!rf_pred[i]) continue;
+    truth.push_back(jobs[i].runtime_minutes);
+    pred.push_back(std::max(0.0, *rf_pred[i]));
+  }
+  return util::mean_absolute_error(truth, pred);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(argc, argv);
+  // Scaled proportionally from the published trace sizes (76,840/32,100).
+  const std::size_t sdsc95_jobs = args.jobs ? args.jobs : 6000;
+  const std::size_t sdsc96_jobs =
+      args.jobs ? args.jobs * 32100 / 76840 : 2500;
+
+  bench::print_banner(
+      "Table 2", "Runtime MAE: Smith et al. vs our Random Forest",
+      "SDSC95: 59.65 -> 35.95 min; SDSC96: 74.56 -> 76.69 min (RF at or "
+      "below the published MAE)",
+      std::to_string(sdsc95_jobs) + " / " + std::to_string(sdsc96_jobs) +
+          " synthetic SDSC-like jobs (paper: 76,840 / 32,100)");
+
+  const double mae95 = run_rf_mae(trace::WorkloadOptions::sdsc95(sdsc95_jobs));
+  const double mae96 = run_rf_mae(trace::WorkloadOptions::sdsc96(sdsc96_jobs));
+
+  util::Table table({"dataset", "Smith et al. MAE", "paper's RF MAE",
+                     "our RF MAE (synthetic)"});
+  table.add_row({"SDSC95-like", "59.65", "35.95", util::fmt(mae95, 2)});
+  table.add_row({"SDSC96-like", "74.56", "76.69", util::fmt(mae96, 2)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape: the RF's MAE lands in the same tens-of-"
+              "minutes range as the published values, with the harder\n"
+              "(more heterogeneous) SDSC96-like year showing the larger "
+              "error\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart: generate a small synthetic Cab-like trace, run PRIONN's
+// online training protocol over it, and report runtime/IO prediction
+// accuracy for the last job plus aggregate statistics.
+//
+// Build & run:
+//   cmake --build build && ./build/examples/quickstart [jobs]
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "core/online.hpp"
+#include "trace/stats.hpp"
+#include "trace/workload.hpp"
+#include "util/stats.hpp"
+
+using namespace prionn;
+
+int main(int argc, char** argv) {
+  const std::size_t n_jobs =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 3000;
+
+  // 1. Synthesize a workload (stand-in for the proprietary Cab trace).
+  trace::WorkloadGenerator generator(trace::WorkloadOptions::cab(n_jobs));
+  const auto all_jobs = generator.generate();
+  const auto jobs = trace::completed_jobs(all_jobs);
+  const auto summary = trace::summarize(all_jobs);
+  std::printf("trace: %zu jobs (%zu canceled), %zu unique scripts\n",
+              summary.total_jobs, summary.canceled_jobs,
+              summary.unique_scripts);
+  std::printf("runtime: mean %.1f min, median %.1f min\n",
+              summary.runtime_minutes.mean, summary.runtime_minutes.median);
+  std::printf("user request: mean error %.0f min, relative accuracy %.1f%%\n",
+              summary.user_request_mean_error_minutes,
+              100.0 * summary.user_request_mean_relative_accuracy);
+
+  // 2. Run the online protocol: predict at submission, retrain every 100
+  //    submissions on the 500 most recent completions (warm start).
+  core::OnlineOptions options;
+  options.predictor.image.transform = core::Transform::kWord2Vec;
+  options.predictor.model = core::ModelKind::kCnn2d;
+  options.predictor.preset = core::ModelPreset::kFast;
+  options.predictor.epochs = 6;
+  core::OnlineTrainer trainer(options);
+  const auto result = trainer.run(jobs);
+  std::printf("\nonline protocol: %zu training events, %.1fs training, "
+              "%.1fs predicting\n",
+              result.training_events, result.train_seconds,
+              result.predict_seconds);
+
+  // 3. Score runtime and IO predictions with the paper's relative accuracy.
+  std::vector<double> runtime_acc, read_acc, write_acc;
+  for (const std::size_t i : result.predicted_indices()) {
+    const auto& p = *result.predictions[i];
+    runtime_acc.push_back(
+        util::relative_accuracy(jobs[i].runtime_minutes, p.runtime_minutes));
+    read_acc.push_back(util::relative_accuracy(jobs[i].read_bandwidth(),
+                                               p.read_bandwidth()));
+    write_acc.push_back(util::relative_accuracy(jobs[i].write_bandwidth(),
+                                                p.write_bandwidth()));
+  }
+  std::printf("predicted jobs: %zu\n", runtime_acc.size());
+  std::printf("runtime accuracy:   mean %.1f%%, median %.1f%%\n",
+              100.0 * util::mean(runtime_acc),
+              100.0 * util::median(runtime_acc));
+  std::printf("read bw accuracy:   mean %.1f%%, median %.1f%%\n",
+              100.0 * util::mean(read_acc), 100.0 * util::median(read_acc));
+  std::printf("write bw accuracy:  mean %.1f%%, median %.1f%%\n",
+              100.0 * util::mean(write_acc), 100.0 * util::median(write_acc));
+
+  // 4. Predict one more job with the trained model.
+  const auto& last = jobs.back();
+  auto prediction = trainer.predictor().predict(last.script);
+  std::printf("\nlast job (%s): actual %.0f min, predicted %.0f min\n",
+              last.job_name.c_str(), last.runtime_minutes,
+              prediction.runtime_minutes);
+  return 0;
+}

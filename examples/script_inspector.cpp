@@ -1,0 +1,99 @@
+// Script inspector: shows the image-like mapping PRIONN feeds to its CNN.
+// Renders one synthetic job script, its 64x64 crop, and an ASCII heat-map
+// of each transform's first channel — useful for building intuition about
+// what the 2D-CNN "sees".
+//
+//   ./build/examples/script_inspector [family-index]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/script_image.hpp"
+#include "embed/word2vec.hpp"
+#include "trace/app_catalog.hpp"
+#include "trace/features.hpp"
+#include "trace/workload.hpp"
+
+using namespace prionn;
+
+namespace {
+
+void render_channel(const tensor::Tensor& image, std::size_t channel,
+                    std::size_t rows, std::size_t cols) {
+  // Normalise the channel to [0, 1] and map to a 5-glyph ramp.
+  const char* ramp = " .:*#";
+  float lo = 1e30f, hi = -1e30f;
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float v = image.at(channel, r, c);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  const float span = hi - lo > 1e-9f ? hi - lo : 1.0f;
+  for (std::size_t r = 0; r < rows; r += 2) {  // halve rows for aspect
+    for (std::size_t c = 0; c < cols; ++c) {
+      const float v = (image.at(channel, r, c) - lo) / span;
+      std::putchar(ramp[std::min<std::size_t>(
+          4, static_cast<std::size_t>(v * 4.999f))]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto& catalog = trace::default_catalog();
+  const std::size_t family =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) %
+                     catalog.size()
+               : 0;
+
+  util::Rng rng(7);
+  const auto config = trace::sample_config(catalog, family, rng);
+  const auto script =
+      trace::render_script(catalog, config, "user042", "g03");
+
+  std::printf("=== job script (%s) ===\n%s\n", catalog[family].name.c_str(),
+              script.c_str());
+
+  const auto features = trace::parse_script(script);
+  std::printf("=== Table-1 features the traditional pipeline extracts ===\n");
+  std::printf("requested: %.2f h, %g nodes, %g tasks\n",
+              features.requested_hours, features.requested_nodes,
+              features.requested_tasks);
+  std::printf("user=%s group=%s account=%s job=%s\n", features.user.c_str(),
+              features.group.c_str(), features.account.c_str(),
+              features.job_name.c_str());
+
+  // PRIONN needs none of that parsing: show what the CNN sees instead.
+  const struct {
+    core::Transform transform;
+    const char* note;
+  } views[] = {
+      {core::Transform::kBinary, "whitespace structure only (lossy)"},
+      {core::Transform::kSimple, "ASCII codes scaled to [0,1] (lossless)"},
+      {core::Transform::kWord2Vec,
+       "first channel of the learned character embedding"},
+  };
+  embed::Word2VecOptions w2v;
+  w2v.dimension = 4;
+  w2v.epochs = 2;
+  const auto embedding =
+      embed::Word2VecTrainer(w2v).train(std::vector<std::string>{script});
+
+  for (const auto& view : views) {
+    core::ScriptImageOptions opts;
+    opts.transform = view.transform;
+    const core::ScriptImageMapper mapper(
+        opts, view.transform == core::Transform::kWord2Vec
+                  ? embedding
+                  : embed::CharEmbedding{});
+    std::printf("\n=== %s transform — %s ===\n",
+                std::string(core::transform_name(view.transform)).c_str(),
+                view.note);
+    render_channel(mapper.map_2d(script), 0, opts.rows, opts.cols);
+  }
+  std::printf("\n(one-hot omitted from the rendering: 128 channels with a "
+              "single 1 each)\n");
+  return 0;
+}

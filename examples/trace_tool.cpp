@@ -1,0 +1,125 @@
+// Trace utility: generate, convert and inspect workload traces from the
+// command line. Bridges the synthetic generator, the native trace format
+// and SWF so the library interoperates with Parallel-Workloads-Archive
+// tooling.
+//
+//   trace_tool generate <jobs> <out.trace> [--preset=cab|sdsc95|sdsc96]
+//                                          [--seed=N]
+//   trace_tool convert  <in.trace|in.swf> <out.trace|out.swf>
+//   trace_tool stats    <in.trace|in.swf>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "trace/stats.hpp"
+#include "trace/store.hpp"
+#include "trace/swf.hpp"
+#include "trace/workload.hpp"
+
+using namespace prionn;
+
+namespace {
+
+bool has_suffix(const std::string& path, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+}
+
+std::vector<trace::JobRecord> load_any(const std::string& path) {
+  return has_suffix(path, ".swf") ? trace::load_swf_file(path)
+                                  : trace::load_trace_file(path);
+}
+
+void save_any(const std::string& path,
+              const std::vector<trace::JobRecord>& jobs) {
+  if (has_suffix(path, ".swf"))
+    trace::save_swf_file(path, jobs);
+  else
+    trace::save_trace_file(path, jobs);
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool generate <jobs> <out.trace|out.swf> "
+               "[--preset=cab|sdsc95|sdsc96] [--seed=N]\n"
+               "  trace_tool convert <in.trace|in.swf> <out.trace|out.swf>\n"
+               "  trace_tool stats <in.trace|in.swf>\n");
+  return 2;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto jobs = static_cast<std::size_t>(std::atoll(argv[2]));
+  const std::string out = argv[3];
+  std::string preset = "cab";
+  std::uint64_t seed = 2016;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--preset=", 0) == 0) preset = arg.substr(9);
+    if (arg.rfind("--seed=", 0) == 0)
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+  }
+  trace::WorkloadOptions options;
+  if (preset == "cab")
+    options = trace::WorkloadOptions::cab(jobs, seed);
+  else if (preset == "sdsc95")
+    options = trace::WorkloadOptions::sdsc95(jobs, seed);
+  else if (preset == "sdsc96")
+    options = trace::WorkloadOptions::sdsc96(jobs, seed);
+  else
+    return usage();
+  trace::WorkloadGenerator generator(options);
+  save_any(out, generator.generate());
+  std::printf("wrote %zu jobs (%s preset, seed %llu) to %s\n", jobs,
+              preset.c_str(), static_cast<unsigned long long>(seed),
+              out.c_str());
+  return 0;
+}
+
+int cmd_convert(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto jobs = load_any(argv[2]);
+  save_any(argv[3], jobs);
+  std::printf("converted %zu jobs: %s -> %s\n", jobs.size(), argv[2],
+              argv[3]);
+  if (has_suffix(argv[3], ".swf"))
+    std::printf("note: SWF cannot carry job scripts or IO volumes\n");
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto jobs = load_any(argv[2]);
+  const auto s = trace::summarize(jobs);
+  std::printf("jobs:            %zu (%zu canceled)\n", s.total_jobs,
+              s.canceled_jobs);
+  std::printf("unique scripts:  %zu\n", s.unique_scripts);
+  std::printf("runtime:         mean %.1f min, median %.1f min, q3 %.1f "
+              "min\n",
+              s.runtime_minutes.mean, s.runtime_minutes.median,
+              s.runtime_minutes.q3);
+  std::printf("user requests:   mean error %+.0f min, relative accuracy "
+              "%.1f%%\n",
+              s.user_request_mean_error_minutes,
+              100.0 * s.user_request_mean_relative_accuracy);
+  std::printf("read bandwidth:  mean %.3e B/s, median %.3e B/s\n",
+              s.read_bandwidth.mean, s.read_bandwidth.median);
+  std::printf("write bandwidth: mean %.3e B/s, median %.3e B/s\n",
+              s.write_bandwidth.mean, s.write_bandwidth.median);
+  std::printf("\nruntime histogram (one-hour buckets):\n%s",
+              trace::runtime_histogram(jobs).render(40).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  if (command == "generate") return cmd_generate(argc, argv);
+  if (command == "convert") return cmd_convert(argc, argv);
+  if (command == "stats") return cmd_stats(argc, argv);
+  return usage();
+}

@@ -1,0 +1,48 @@
+#include "core/bins.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prionn::core {
+
+RuntimeBins::RuntimeBins(std::size_t bins) : bins_(bins) {
+  if (bins == 0) throw std::invalid_argument("RuntimeBins: bins > 0");
+}
+
+std::uint32_t RuntimeBins::label_of(double minutes) const noexcept {
+  const double rounded = std::round(std::max(0.0, minutes));
+  return static_cast<std::uint32_t>(
+      std::min(rounded, static_cast<double>(bins_ - 1)));
+}
+
+double RuntimeBins::minutes_of(std::uint32_t label) const noexcept {
+  return static_cast<double>(std::min<std::size_t>(label, bins_ - 1));
+}
+
+IoBins::IoBins(std::size_t bins, double min_bytes, double max_bytes)
+    : bins_(bins),
+      log_min_(std::log(min_bytes)),
+      log_max_(std::log(max_bytes)) {
+  if (bins == 0) throw std::invalid_argument("IoBins: bins > 0");
+  if (!(0.0 < min_bytes && min_bytes < max_bytes))
+    throw std::invalid_argument("IoBins: need 0 < min_bytes < max_bytes");
+}
+
+std::uint32_t IoBins::label_of(double bytes) const noexcept {
+  const double clamped = std::max(bytes, std::exp(log_min_));
+  const double t = (std::log(clamped) - log_min_) / (log_max_ - log_min_);
+  const double idx = std::floor(t * static_cast<double>(bins_));
+  return static_cast<std::uint32_t>(
+      std::clamp(idx, 0.0, static_cast<double>(bins_ - 1)));
+}
+
+double IoBins::bytes_of(std::uint32_t label) const noexcept {
+  const double step = (log_max_ - log_min_) / static_cast<double>(bins_);
+  const double lo = log_min_ + static_cast<double>(
+                                   std::min<std::size_t>(label, bins_ - 1)) *
+                                   step;
+  return std::exp(lo + 0.5 * step);  // geometric centre
+}
+
+}  // namespace prionn::core

@@ -1,0 +1,42 @@
+// Classifier output bins. The paper's deep models are classifiers: the
+// runtime head has 960 nodes, one per minute in [0, 960] (section 2.2);
+// for IO we quantise total bytes onto a logarithmic grid, since per-job IO
+// spans many orders of magnitude (Fig. 9a).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace prionn::core {
+
+/// One-minute runtime bins: bin k represents a runtime of k minutes,
+/// k in [0, bins). Cab's 16-hour cap gives the paper's 960 bins.
+class RuntimeBins {
+ public:
+  explicit RuntimeBins(std::size_t bins = 960);
+
+  std::size_t bins() const noexcept { return bins_; }
+  std::uint32_t label_of(double minutes) const noexcept;
+  double minutes_of(std::uint32_t label) const noexcept;
+
+ private:
+  std::size_t bins_;
+};
+
+/// Logarithmic byte bins over [min_bytes, max_bytes).
+class IoBins {
+ public:
+  IoBins(std::size_t bins = 64, double min_bytes = 1e4,
+         double max_bytes = 1e14);
+
+  std::size_t bins() const noexcept { return bins_; }
+  std::uint32_t label_of(double bytes) const noexcept;
+  /// Geometric centre of the bin — the value a predicted label decodes to.
+  double bytes_of(std::uint32_t label) const noexcept;
+
+ private:
+  std::size_t bins_;
+  double log_min_, log_max_;
+};
+
+}  // namespace prionn::core

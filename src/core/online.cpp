@@ -1,0 +1,110 @@
+#include "core/online.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace prionn::core {
+
+std::vector<std::size_t> OnlineResult::predicted_indices() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    if (predictions[i]) out.push_back(i);
+  return out;
+}
+
+OnlineTrainer::OnlineTrainer(OnlineOptions options)
+    : options_(options), predictor_(options.predictor) {
+  if (options_.retrain_interval == 0 || options_.train_window == 0)
+    throw std::invalid_argument("OnlineTrainer: intervals must be > 0");
+}
+
+OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
+  OnlineResult result;
+  result.predictions.assign(jobs.size(), std::nullopt);
+
+  // Jobs complete asynchronously: a min-heap on end_time feeds the pool of
+  // completed jobs as the submission clock advances.
+  const auto later_end = [&jobs](std::size_t a, std::size_t b) {
+    return jobs[a].end_time > jobs[b].end_time;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(later_end)>
+      in_flight(later_end);
+  std::vector<std::size_t> completed;  // indices, in completion order
+  completed.reserve(jobs.size());
+
+  bool embedding_ready =
+      options_.predictor.image.transform != Transform::kWord2Vec;
+  std::size_t submissions_since_train = 0;
+
+  util::Timer stopwatch;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& job = jobs[i];
+    // Advance the completion pool to this submission instant.
+    while (!in_flight.empty() &&
+           jobs[in_flight.top()].end_time <= job.submit_time) {
+      completed.push_back(in_flight.top());
+      in_flight.pop();
+    }
+
+    // Retrain every `retrain_interval` submissions once enough history
+    // exists (and immediately for the very first training event).
+    const bool due = !predictor_.trained()
+                         ? completed.size() >= options_.min_initial_completions
+                         : submissions_since_train >= options_.retrain_interval;
+    if (due && !completed.empty()) {
+      const std::size_t window =
+          std::min(options_.train_window, completed.size());
+      std::vector<trace::JobRecord> recent;
+      recent.reserve(window);
+      for (std::size_t k = completed.size() - window; k < completed.size();
+           ++k)
+        recent.push_back(jobs[completed[k]]);
+
+      if (options_.reinitialize_on_retrain && predictor_.trained()) {
+        // Cold-start ablation: throw the learned weights away but keep the
+        // corpus-trained embedding, which the paper also fits once.
+        embed::CharEmbedding embedding;
+        const bool keep_embedding =
+            options_.predictor.image.transform == Transform::kWord2Vec;
+        if (keep_embedding) embedding = predictor_.mapper().embedding();
+        predictor_ = PrionnPredictor(options_.predictor);
+        if (keep_embedding) predictor_.set_embedding(std::move(embedding));
+      }
+
+      if (!embedding_ready) {
+        std::vector<std::string> corpus;
+        const std::size_t corpus_size =
+            std::min(options_.embedding_corpus, completed.size());
+        corpus.reserve(corpus_size);
+        for (std::size_t k = completed.size() - corpus_size;
+             k < completed.size(); ++k)
+          corpus.push_back(jobs[completed[k]].script);
+        stopwatch.reset();
+        predictor_.fit_embedding(corpus);
+        result.train_seconds += stopwatch.seconds();
+        embedding_ready = true;
+      }
+
+      stopwatch.reset();
+      predictor_.train(recent);
+      result.train_seconds += stopwatch.seconds();
+      ++result.training_events;
+      submissions_since_train = 0;
+    }
+
+    if (predictor_.trained()) {
+      stopwatch.reset();
+      result.predictions[i] = predictor_.predict(job.script);
+      result.predict_seconds += stopwatch.seconds();
+    }
+    ++submissions_since_train;
+    in_flight.push(i);
+  }
+  return result;
+}
+
+}  // namespace prionn::core

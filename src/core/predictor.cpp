@@ -1,0 +1,272 @@
+#include "core/predictor.hpp"
+
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace prionn::core {
+
+PrionnPredictor::PrionnPredictor(PredictorOptions options)
+    : options_(options),
+      runtime_bins_(options.runtime_bins),
+      io_bins_(options.io_bins),
+      runtime_opt_(options.learning_rate),
+      read_opt_(options.learning_rate),
+      write_opt_(options.learning_rate) {
+  ModelConfig cfg;
+  cfg.kind = options_.model;
+  cfg.preset = options_.preset;
+  cfg.rows = options_.image.rows;
+  cfg.cols = options_.image.cols;
+  cfg.dropout = options_.dropout;
+  cfg.seed = options_.seed;
+  switch (options_.image.transform) {
+    case Transform::kBinary:
+    case Transform::kSimple: cfg.channels = 1; break;
+    case Transform::kOneHot: cfg.channels = embed::CharVocab::kSize; break;
+    case Transform::kWord2Vec:
+      cfg.channels = options_.word2vec_dimension;
+      break;
+  }
+  cfg.classes = options_.runtime_bins;
+  runtime_net_ = build_model(cfg);
+  if (options_.predict_io) {
+    cfg.classes = options_.io_bins;
+    cfg.seed = options_.seed + 1;
+    read_net_ = build_model(cfg);
+    cfg.seed = options_.seed + 2;
+    write_net_ = build_model(cfg);
+  }
+  if (options_.image.transform != Transform::kWord2Vec) ensure_mapper();
+}
+
+void PrionnPredictor::ensure_mapper() {
+  if (!mapper_)
+    mapper_.emplace(options_.image, embedding_);
+}
+
+const ScriptImageMapper& PrionnPredictor::mapper() const {
+  if (!mapper_)
+    throw std::logic_error(
+        "PrionnPredictor: word2vec embedding not fitted yet");
+  return *mapper_;
+}
+
+void PrionnPredictor::fit_embedding(const std::vector<std::string>& scripts) {
+  if (options_.image.transform != Transform::kWord2Vec) return;
+  embed::Word2VecOptions w2v;
+  w2v.dimension = options_.word2vec_dimension;
+  w2v.seed = options_.seed ^ 0x77327665ULL;  // "w2ve"
+  embed::Word2VecTrainer trainer(w2v);
+  embedding_ = trainer.train(scripts);
+  mapper_.reset();
+  ensure_mapper();
+}
+
+void PrionnPredictor::set_embedding(embed::CharEmbedding embedding) {
+  embedding_ = std::move(embedding);
+  if (options_.image.transform == Transform::kWord2Vec) {
+    mapper_.reset();
+    if (!embedding_.empty()) ensure_mapper();
+  }
+}
+
+tensor::Tensor PrionnPredictor::map_batch(
+    const std::vector<std::string>& scripts) const {
+  const bool two_d = options_.model == ModelKind::kCnn2d;
+  return two_d ? mapper().map_batch_2d(scripts)
+               : mapper().map_batch_1d(scripts);
+}
+
+void PrionnPredictor::train(
+    const std::vector<trace::JobRecord>& completed_jobs) {
+  if (completed_jobs.empty())
+    throw std::invalid_argument("PrionnPredictor::train: no jobs");
+  if (options_.image.transform == Transform::kWord2Vec && !mapper_)
+    throw std::logic_error(
+        "PrionnPredictor::train: call fit_embedding() first");
+
+  std::vector<std::string> scripts;
+  std::vector<std::uint32_t> runtime_labels, read_labels, write_labels;
+  scripts.reserve(completed_jobs.size());
+  for (const auto& job : completed_jobs) {
+    scripts.push_back(job.script);
+    runtime_labels.push_back(runtime_bins_.label_of(job.runtime_minutes));
+    read_labels.push_back(io_bins_.label_of(job.bytes_read));
+    write_labels.push_back(io_bins_.label_of(job.bytes_written));
+  }
+  const tensor::Tensor batch = map_batch(scripts);
+
+  nn::FitOptions fit;
+  fit.epochs = options_.epochs;
+  fit.batch_size = options_.batch_size;
+  fit.shuffle_seed = options_.seed + training_events_;
+  runtime_net_.fit(batch, runtime_labels, runtime_opt_, fit);
+  if (options_.predict_io) {
+    read_net_.fit(batch, read_labels, read_opt_, fit);
+    write_net_.fit(batch, write_labels, write_opt_, fit);
+  }
+  trained_ = true;
+  ++training_events_;
+}
+
+JobPrediction PrionnPredictor::predict(const std::string& script) {
+  return predict(std::vector<std::string>{script}).front();
+}
+
+PrionnPredictor::ConfidentPrediction
+PrionnPredictor::predict_with_confidence(const std::string& script) {
+  if (!trained_)
+    throw std::logic_error("PrionnPredictor::predict: model not trained");
+  const tensor::Tensor batch = map_batch({script});
+
+  ConfidentPrediction out;
+  const auto head = [&](nn::Network& net) {
+    const tensor::Tensor probs = net.predict_probabilities(batch);
+    const std::size_t cls = tensor::argmax(probs.span());
+    return std::pair<std::size_t, double>(cls,
+                                          static_cast<double>(probs[cls]));
+  };
+  const auto [runtime_cls, runtime_conf] = head(runtime_net_);
+  out.value.runtime_minutes = std::max(
+      1.0, runtime_bins_.minutes_of(static_cast<std::uint32_t>(runtime_cls)));
+  out.runtime_confidence = runtime_conf;
+  if (options_.predict_io) {
+    const auto [read_cls, read_conf] = head(read_net_);
+    const auto [write_cls, write_conf] = head(write_net_);
+    out.value.bytes_read =
+        io_bins_.bytes_of(static_cast<std::uint32_t>(read_cls));
+    out.value.bytes_written =
+        io_bins_.bytes_of(static_cast<std::uint32_t>(write_cls));
+    out.read_confidence = read_conf;
+    out.write_confidence = write_conf;
+  }
+  return out;
+}
+
+namespace {
+
+constexpr std::uint32_t kPredictorMagic = 0x50524f4e;  // "PRON"
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("PrionnPredictor::load: truncated");
+  return v;
+}
+
+void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+double read_f64(std::istream& is) {
+  double v = 0.0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("PrionnPredictor::load: truncated");
+  return v;
+}
+
+}  // namespace
+
+void PrionnPredictor::save(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&kPredictorMagic),
+           sizeof(kPredictorMagic));
+  write_u64(os, static_cast<std::uint64_t>(options_.image.rows));
+  write_u64(os, static_cast<std::uint64_t>(options_.image.cols));
+  write_u64(os, static_cast<std::uint64_t>(options_.image.transform));
+  write_u64(os, static_cast<std::uint64_t>(options_.model));
+  write_u64(os, static_cast<std::uint64_t>(options_.preset));
+  write_u64(os, options_.runtime_bins);
+  write_u64(os, options_.io_bins);
+  write_u64(os, options_.word2vec_dimension);
+  write_u64(os, options_.epochs);
+  write_u64(os, options_.batch_size);
+  write_f64(os, options_.learning_rate);
+  write_f64(os, options_.dropout);
+  write_u64(os, options_.predict_io ? 1 : 0);
+  write_u64(os, options_.seed);
+  write_u64(os, trained_ ? 1 : 0);
+  write_u64(os, training_events_);
+  const bool has_embedding =
+      options_.image.transform == Transform::kWord2Vec && !embedding_.empty();
+  write_u64(os, has_embedding ? 1 : 0);
+  if (has_embedding) embedding_.save(os);
+  runtime_net_.save(os);
+  if (options_.predict_io) {
+    read_net_.save(os);
+    write_net_.save(os);
+  }
+}
+
+PrionnPredictor PrionnPredictor::load(std::istream& is) {
+  std::uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is || magic != kPredictorMagic)
+    throw std::runtime_error("PrionnPredictor::load: bad magic");
+  PredictorOptions opts;
+  opts.image.rows = static_cast<std::size_t>(read_u64(is));
+  opts.image.cols = static_cast<std::size_t>(read_u64(is));
+  opts.image.transform = static_cast<Transform>(read_u64(is));
+  opts.model = static_cast<ModelKind>(read_u64(is));
+  opts.preset = static_cast<ModelPreset>(read_u64(is));
+  opts.runtime_bins = static_cast<std::size_t>(read_u64(is));
+  opts.io_bins = static_cast<std::size_t>(read_u64(is));
+  opts.word2vec_dimension = static_cast<std::size_t>(read_u64(is));
+  opts.epochs = static_cast<std::size_t>(read_u64(is));
+  opts.batch_size = static_cast<std::size_t>(read_u64(is));
+  opts.learning_rate = read_f64(is);
+  opts.dropout = read_f64(is);
+  opts.predict_io = read_u64(is) != 0;
+  opts.seed = read_u64(is);
+
+  PrionnPredictor p(opts);
+  p.trained_ = read_u64(is) != 0;
+  p.training_events_ = static_cast<std::size_t>(read_u64(is));
+  if (read_u64(is) != 0) {
+    p.embedding_ = embed::CharEmbedding::load(is);
+    p.mapper_.reset();
+    p.ensure_mapper();
+  }
+  p.runtime_net_ = nn::Network::load(is);
+  if (opts.predict_io) {
+    p.read_net_ = nn::Network::load(is);
+    p.write_net_ = nn::Network::load(is);
+  }
+  return p;
+}
+
+std::vector<JobPrediction> PrionnPredictor::predict(
+    const std::vector<std::string>& scripts) {
+  if (!trained_)
+    throw std::logic_error("PrionnPredictor::predict: model not trained");
+  const tensor::Tensor batch = map_batch(scripts);
+  const auto runtime_cls = runtime_net_.predict_classes(batch);
+  std::vector<std::uint32_t> read_cls, write_cls;
+  if (options_.predict_io) {
+    read_cls = read_net_.predict_classes(batch);
+    write_cls = write_net_.predict_classes(batch);
+  }
+
+  std::vector<JobPrediction> out(scripts.size());
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    // A zero-minute prediction would produce an infinite bandwidth; the
+    // shortest representable job is one minute, as in the generator.
+    out[i].runtime_minutes =
+        std::max(1.0, runtime_bins_.minutes_of(runtime_cls[i]));
+    if (options_.predict_io) {
+      out[i].bytes_read = io_bins_.bytes_of(read_cls[i]);
+      out[i].bytes_written = io_bins_.bytes_of(write_cls[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace prionn::core

@@ -1,0 +1,118 @@
+// The PRIONN predictor facade: data mapping + three classifier heads
+// (runtime minutes, total bytes read, total bytes written) trained on
+// completed jobs and queried at submission time. Bandwidths are derived
+// from the predicted totals and the predicted runtime, exactly as in
+// section 3.2 of the paper.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bins.hpp"
+#include "core/model_zoo.hpp"
+#include "core/script_image.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "trace/job_record.hpp"
+
+namespace prionn::core {
+
+struct PredictorOptions {
+  ScriptImageOptions image;            // transform + grid size
+  ModelKind model = ModelKind::kCnn2d;
+  ModelPreset preset = ModelPreset::kFast;
+  std::size_t runtime_bins = 960;      // one bin per minute (paper)
+  std::size_t io_bins = 64;
+  std::size_t word2vec_dimension = 4;  // paper's chosen size
+  std::size_t epochs = 10;             // per (re)training event (paper)
+  std::size_t batch_size = 32;
+  double learning_rate = 3e-3;         // Adam
+  double dropout = 0.05;
+  bool predict_io = true;              // heads for bytes read/written
+  std::uint64_t seed = 1234;
+};
+
+struct JobPrediction {
+  double runtime_minutes = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+
+  double read_bandwidth() const noexcept {
+    return runtime_minutes > 0.0 ? bytes_read / (runtime_minutes * 60.0)
+                                 : 0.0;
+  }
+  double write_bandwidth() const noexcept {
+    return runtime_minutes > 0.0 ? bytes_written / (runtime_minutes * 60.0)
+                                 : 0.0;
+  }
+};
+
+class PrionnPredictor {
+ public:
+  explicit PrionnPredictor(PredictorOptions options = {});
+
+  /// Word2vec needs a corpus-trained character embedding; call once before
+  /// the first train() when the transform is kWord2Vec (no-op otherwise).
+  void fit_embedding(const std::vector<std::string>& scripts);
+
+  /// Install an already-trained embedding (checkpoint restore, or reusing
+  /// the corpus embedding across the cold-retrain ablation).
+  void set_embedding(embed::CharEmbedding embedding);
+
+  /// (Re)train on completed jobs. Warm start: repeated calls continue from
+  /// the current weights and optimiser state (paper section 2.3: models
+  /// are retrained rather than re-initialised).
+  void train(const std::vector<trace::JobRecord>& completed_jobs);
+
+  bool trained() const noexcept { return trained_; }
+  std::size_t training_events() const noexcept { return training_events_; }
+
+  JobPrediction predict(const std::string& script);
+  std::vector<JobPrediction> predict(const std::vector<std::string>& scripts);
+
+  /// Prediction plus the classifier's softmax confidence per head — an
+  /// IO-aware scheduler can fall back to conservative estimates when the
+  /// model is unsure (e.g. an unseen script).
+  struct ConfidentPrediction {
+    JobPrediction value;
+    double runtime_confidence = 0.0;  // max softmax probability, (0, 1]
+    double read_confidence = 0.0;
+    double write_confidence = 0.0;
+  };
+  ConfidentPrediction predict_with_confidence(const std::string& script);
+
+  const PredictorOptions& options() const noexcept { return options_; }
+  const ScriptImageMapper& mapper() const;
+  const RuntimeBins& runtime_bins() const noexcept { return runtime_bins_; }
+  const IoBins& io_bins() const noexcept { return io_bins_; }
+
+  /// Checkpointing: persist the full predictor (options, embedding and
+  /// network weights) so a scheduler restart can resume predictions
+  /// without retraining. Optimiser state is not persisted; the first
+  /// retraining after load rebuilds it (Adam moments re-warm quickly).
+  void save(std::ostream& os) const;
+  static PrionnPredictor load(std::istream& is);
+
+ private:
+  tensor::Tensor map_batch(const std::vector<std::string>& scripts) const;
+  void ensure_mapper();
+
+  PredictorOptions options_;
+  RuntimeBins runtime_bins_;
+  IoBins io_bins_;
+  std::optional<ScriptImageMapper> mapper_;
+  embed::CharEmbedding embedding_;
+
+  nn::Network runtime_net_;
+  nn::Network read_net_;
+  nn::Network write_net_;
+  nn::Adam runtime_opt_;
+  nn::Adam read_opt_;
+  nn::Adam write_opt_;
+  bool trained_ = false;
+  std::size_t training_events_ = 0;
+};
+
+}  // namespace prionn::core

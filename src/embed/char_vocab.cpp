@@ -1,0 +1,20 @@
+#include "embed/char_vocab.hpp"
+
+namespace prionn::embed {
+
+std::vector<std::size_t> CharVocab::tokenize(std::string_view text) {
+  std::vector<std::size_t> out;
+  out.reserve(text.size());
+  for (const char c : text) out.push_back(token(c));
+  return out;
+}
+
+std::array<std::size_t, CharVocab::kSize> CharVocab::count_frequencies(
+    const std::vector<std::vector<std::size_t>>& corpus) noexcept {
+  std::array<std::size_t, kSize> counts{};
+  for (const auto& doc : corpus)
+    for (const std::size_t t : doc) ++counts[t < kSize ? t : 0];
+  return counts;
+}
+
+}  // namespace prionn::embed

@@ -1,0 +1,33 @@
+// Character vocabulary over 7-bit ASCII. Job scripts are plain ASCII text;
+// any byte outside [0, 127] maps to the unknown slot. The fixed 128-slot
+// table is what the paper's one-hot transform assumes ("a unique 128 value
+// vector").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace prionn::embed {
+
+class CharVocab {
+ public:
+  static constexpr std::size_t kSize = 128;
+
+  /// Token id of a character (identity for ASCII, 0 for out-of-range).
+  static std::size_t token(char c) noexcept {
+    const auto u = static_cast<unsigned char>(c);
+    return u < kSize ? u : 0;
+  }
+
+  /// Tokenise a script into a flat id sequence (line structure discarded,
+  /// matching the 1-D "flattened" mapping of the paper).
+  static std::vector<std::size_t> tokenize(std::string_view text);
+
+  /// Per-token occurrence counts over a corpus; index = token id.
+  static std::array<std::size_t, kSize> count_frequencies(
+      const std::vector<std::vector<std::size_t>>& corpus) noexcept;
+};
+
+}  // namespace prionn::embed

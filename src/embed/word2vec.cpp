@@ -1,0 +1,281 @@
+#include "embed/word2vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace prionn::embed {
+
+namespace {
+
+constexpr std::size_t kV = CharVocab::kSize;
+
+inline float fast_sigmoid(float x) noexcept {
+  // Clamp to the region where the exact value is representable; outside it
+  // the gradient is numerically zero anyway.
+  if (x > 8.0f) return 1.0f;
+  if (x < -8.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+/// Unigram^(3/4) negative-sampling table, as in the reference word2vec.
+class NegativeTable {
+ public:
+  NegativeTable(const std::array<std::size_t, kV>& counts, std::size_t size)
+      : table_(size) {
+    double total = 0.0;
+    std::array<double, kV> weights{};
+    for (std::size_t t = 0; t < kV; ++t) {
+      weights[t] = std::pow(static_cast<double>(counts[t]), 0.75);
+      total += weights[t];
+    }
+    if (total <= 0.0) {
+      for (auto& slot : table_) slot = 0;
+      return;
+    }
+    std::size_t t = 0;
+    double cumulative = weights[0] / total;
+    for (std::size_t i = 0; i < size; ++i) {
+      table_[i] = t;
+      if (static_cast<double>(i + 1) / static_cast<double>(size) >
+              cumulative &&
+          t + 1 < kV) {
+        ++t;
+        cumulative += weights[t] / total;
+      }
+    }
+  }
+
+  std::size_t sample(util::Rng& rng) const noexcept {
+    return table_[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(table_.size()) - 1))];
+  }
+
+ private:
+  std::vector<std::size_t> table_;
+};
+
+}  // namespace
+
+CharEmbedding::CharEmbedding(std::size_t dimension, std::vector<float> table)
+    : dimension_(dimension), table_(std::move(table)) {
+  if (table_.size() != kV * dimension_)
+    throw std::invalid_argument("CharEmbedding: table size mismatch");
+}
+
+double CharEmbedding::similarity(char a, char b) const noexcept {
+  const auto va = vector_of(a), vb = vector_of(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < dimension_; ++i) {
+    dot += static_cast<double>(va[i]) * vb[i];
+    na += static_cast<double>(va[i]) * va[i];
+    nb += static_cast<double>(vb[i]) * vb[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+void CharEmbedding::save(std::ostream& os) const {
+  const auto dim = static_cast<std::uint64_t>(dimension_);
+  os.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+  os.write(reinterpret_cast<const char*>(table_.data()),
+           static_cast<std::streamsize>(table_.size() * sizeof(float)));
+}
+
+CharEmbedding CharEmbedding::load(std::istream& is) {
+  std::uint64_t dim = 0;
+  is.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+  if (!is || dim == 0 || dim > 4096)
+    throw std::runtime_error("CharEmbedding::load: corrupt header");
+  std::vector<float> table(kV * dim);
+  is.read(reinterpret_cast<char*>(table.data()),
+          static_cast<std::streamsize>(table.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("CharEmbedding::load: truncated payload");
+  return CharEmbedding(static_cast<std::size_t>(dim), std::move(table));
+}
+
+Word2VecTrainer::Word2VecTrainer(Word2VecOptions options)
+    : options_(options) {
+  if (options_.dimension == 0)
+    throw std::invalid_argument("Word2Vec: dimension must be > 0");
+  if (options_.window == 0)
+    throw std::invalid_argument("Word2Vec: window must be > 0");
+}
+
+CharEmbedding Word2VecTrainer::train(
+    std::span<const std::string_view> corpus) {
+  std::vector<std::vector<std::size_t>> docs;
+  docs.reserve(corpus.size());
+  for (const auto text : corpus) docs.push_back(CharVocab::tokenize(text));
+  return train_tokens(docs);
+}
+
+CharEmbedding Word2VecTrainer::train(const std::vector<std::string>& corpus) {
+  std::vector<std::vector<std::size_t>> docs;
+  docs.reserve(corpus.size());
+  for (const auto& text : corpus) docs.push_back(CharVocab::tokenize(text));
+  return train_tokens(docs);
+}
+
+CharEmbedding Word2VecTrainer::train_tokens(
+    const std::vector<std::vector<std::size_t>>& corpus) {
+  const std::size_t dim = options_.dimension;
+  util::Rng rng(options_.seed);
+
+  // Input (embedding) and output (context) matrices, kV x dim.
+  std::vector<float> in(kV * dim), out(kV * dim, 0.0f);
+  const float init_scale = 0.5f / static_cast<float>(dim);
+  for (float& w : in)
+    w = static_cast<float>(rng.uniform(-init_scale, init_scale));
+
+  const auto counts = CharVocab::count_frequencies(corpus);
+  std::size_t total_tokens = 0;
+  for (const std::size_t c : counts) total_tokens += c;
+  if (total_tokens == 0) return CharEmbedding(dim, std::move(in));
+
+  const NegativeTable negatives(counts, 1 << 16);
+
+  // Frequent-token subsampling probabilities (keep-probability per token).
+  std::array<double, kV> keep{};
+  for (std::size_t t = 0; t < kV; ++t) {
+    const double f =
+        static_cast<double>(counts[t]) / static_cast<double>(total_tokens);
+    keep[t] = f > 0.0
+                  ? std::min(1.0, std::sqrt(options_.subsample_threshold / f) +
+                                      options_.subsample_threshold / f)
+                  : 1.0;
+  }
+
+  const std::size_t pairs_per_epoch = total_tokens;
+  const std::size_t total_steps = options_.epochs * pairs_per_epoch;
+  std::size_t step = 0;
+  std::vector<float> grad_center(dim);
+  std::vector<float> hidden(dim);  // CBOW's averaged context embedding
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& doc : corpus) {
+      // Apply subsampling to form the effective sentence.
+      std::vector<std::size_t> sent;
+      sent.reserve(doc.size());
+      for (const std::size_t t : doc)
+        if (rng.uniform() < keep[t < kV ? t : 0]) sent.push_back(t);
+
+      for (std::size_t pos = 0; pos < sent.size(); ++pos, ++step) {
+        const double progress =
+            static_cast<double>(step) / static_cast<double>(total_steps + 1);
+        const auto lr = static_cast<float>(
+            std::max(options_.min_learning_rate,
+                     options_.learning_rate * (1.0 - progress)));
+
+        // Dynamic window as in the reference implementation.
+        const std::size_t reduced = static_cast<std::size_t>(rng.uniform_int(
+                                        1, static_cast<std::int64_t>(
+                                               options_.window)));
+        const std::size_t lo = pos >= reduced ? pos - reduced : 0;
+        const std::size_t hi = std::min(sent.size(), pos + reduced + 1);
+        const std::size_t center = sent[pos];
+
+        if (options_.algorithm == Word2VecAlgorithm::kCbow) {
+          // CBOW: the averaged context embedding predicts the centre.
+          std::fill(hidden.begin(), hidden.end(), 0.0f);
+          std::size_t ctx_count = 0;
+          for (std::size_t ctx = lo; ctx < hi; ++ctx) {
+            if (ctx == pos) continue;
+            const float* v = in.data() + sent[ctx] * dim;
+            for (std::size_t d = 0; d < dim; ++d) hidden[d] += v[d];
+            ++ctx_count;
+          }
+          if (ctx_count == 0) continue;
+          const float inv = 1.0f / static_cast<float>(ctx_count);
+          for (std::size_t d = 0; d < dim; ++d) hidden[d] *= inv;
+
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          for (std::size_t k = 0; k <= options_.negatives; ++k) {
+            std::size_t target;
+            float label;
+            if (k == 0) {
+              target = center;
+              label = 1.0f;
+            } else {
+              target = negatives.sample(rng);
+              if (target == center) continue;
+              label = 0.0f;
+            }
+            float* v_out = out.data() + target * dim;
+            float score = 0.0f;
+            for (std::size_t d = 0; d < dim; ++d)
+              score += hidden[d] * v_out[d];
+            const float g = lr * (label - fast_sigmoid(score));
+            for (std::size_t d = 0; d < dim; ++d) {
+              grad_center[d] += g * v_out[d];
+              v_out[d] += g * hidden[d];
+            }
+          }
+          for (std::size_t ctx = lo; ctx < hi; ++ctx) {
+            if (ctx == pos) continue;
+            float* v = in.data() + sent[ctx] * dim;
+            for (std::size_t d = 0; d < dim; ++d)
+              v[d] += grad_center[d] * inv;
+          }
+          continue;
+        }
+
+        // Skip-gram: the centre embedding predicts each context token.
+        float* v_in = in.data() + center * dim;
+        for (std::size_t ctx = lo; ctx < hi; ++ctx) {
+          if (ctx == pos) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0f);
+          // One positive plus `negatives` negative targets.
+          for (std::size_t k = 0; k <= options_.negatives; ++k) {
+            std::size_t target;
+            float label;
+            if (k == 0) {
+              target = sent[ctx];
+              label = 1.0f;
+            } else {
+              target = negatives.sample(rng);
+              if (target == sent[ctx]) continue;
+              label = 0.0f;
+            }
+            float* v_out = out.data() + target * dim;
+            float score = 0.0f;
+            for (std::size_t d = 0; d < dim; ++d) score += v_in[d] * v_out[d];
+            const float g = lr * (label - fast_sigmoid(score));
+            for (std::size_t d = 0; d < dim; ++d) {
+              grad_center[d] += g * v_out[d];
+              v_out[d] += g * v_in[d];
+            }
+          }
+          for (std::size_t d = 0; d < dim; ++d) v_in[d] += grad_center[d];
+        }
+      }
+    }
+  }
+  if (options_.standardize) {
+    // Frequency-weighted standardisation per dimension: tokens that occur
+    // more often contribute proportionally to the statistics the CNN will
+    // actually see.
+    for (std::size_t d = 0; d < dim; ++d) {
+      double mean = 0.0;
+      for (std::size_t t = 0; t < kV; ++t)
+        mean += static_cast<double>(counts[t]) * in[t * dim + d];
+      mean /= static_cast<double>(total_tokens);
+      double var = 0.0;
+      for (std::size_t t = 0; t < kV; ++t) {
+        const double diff = in[t * dim + d] - mean;
+        var += static_cast<double>(counts[t]) * diff * diff;
+      }
+      var /= static_cast<double>(total_tokens);
+      const double inv_std = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+      for (std::size_t t = 0; t < kV; ++t)
+        in[t * dim + d] = static_cast<float>(
+            (in[t * dim + d] - mean) * inv_std);
+    }
+  }
+  return CharEmbedding(dim, std::move(in));
+}
+
+}  // namespace prionn::embed

@@ -1,0 +1,88 @@
+// Character-level word2vec (skip-gram with negative sampling, Mikolov et
+// al. 2013) — the paper's fourth data-mapping transform. Trained on the
+// corpus of job scripts, it embeds each ASCII character into a small dense
+// vector carrying the contexts the character appears in.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "embed/char_vocab.hpp"
+#include "util/rng.hpp"
+
+namespace prionn::embed {
+
+/// Training architecture (Mikolov et al. 2013): skip-gram predicts the
+/// context from the centre character; CBOW predicts the centre character
+/// from the averaged context. Skip-gram is the default (it is what the
+/// reference word2vec uses for small corpora).
+enum class Word2VecAlgorithm { kSkipGram, kCbow };
+
+struct Word2VecOptions {
+  Word2VecAlgorithm algorithm = Word2VecAlgorithm::kSkipGram;
+  std::size_t dimension = 4;     // paper's chosen output vector size
+  std::size_t window = 2;        // context radius in characters
+  std::size_t negatives = 5;     // negative samples per positive pair
+  std::size_t epochs = 2;
+  double learning_rate = 0.025;
+  double min_learning_rate = 1e-4;
+  double subsample_threshold = 1e-3;  // frequent-token subsampling (t)
+  /// Standardise each embedding dimension to zero mean / unit variance
+  /// over the corpus (weighted by token frequency) after training, so the
+  /// CNN sees well-conditioned inputs regardless of the embedding's raw
+  /// scale.
+  bool standardize = true;
+  std::uint64_t seed = 42;
+};
+
+/// Lookup table mapping character token -> embedding vector.
+class CharEmbedding {
+ public:
+  CharEmbedding() = default;
+  CharEmbedding(std::size_t dimension, std::vector<float> table);
+
+  std::size_t dimension() const noexcept { return dimension_; }
+  bool empty() const noexcept { return table_.empty(); }
+
+  std::span<const float> vector(std::size_t token) const noexcept {
+    const std::size_t t = token < CharVocab::kSize ? token : 0;
+    return {table_.data() + t * dimension_, dimension_};
+  }
+  std::span<const float> vector_of(char c) const noexcept {
+    return vector(CharVocab::token(c));
+  }
+
+  /// Cosine similarity between two characters' embeddings.
+  double similarity(char a, char b) const noexcept;
+
+  void save(std::ostream& os) const;
+  static CharEmbedding load(std::istream& is);
+
+ private:
+  std::size_t dimension_ = 0;
+  std::vector<float> table_;  // kSize x dimension, row-major
+};
+
+/// Train skip-gram embeddings over tokenised scripts.
+class Word2VecTrainer {
+ public:
+  explicit Word2VecTrainer(Word2VecOptions options = {});
+
+  /// Train on raw script texts (tokenised internally).
+  CharEmbedding train(std::span<const std::string_view> corpus);
+  CharEmbedding train(const std::vector<std::string>& corpus);
+
+  /// Train on pre-tokenised documents.
+  CharEmbedding train_tokens(
+      const std::vector<std::vector<std::size_t>>& corpus);
+
+  const Word2VecOptions& options() const noexcept { return options_; }
+
+ private:
+  Word2VecOptions options_;
+};
+
+}  // namespace prionn::embed

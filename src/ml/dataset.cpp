@@ -1,0 +1,35 @@
+#include "ml/dataset.hpp"
+
+namespace prionn::ml {
+
+void Dataset::add_row(std::span<const double> x, double y) {
+  if (x.size() != features_)
+    throw std::invalid_argument("Dataset::add_row: feature count mismatch");
+  x_.insert(x_.end(), x.begin(), x.end());
+  targets_.push_back(y);
+}
+
+void Dataset::reserve(std::size_t rows) {
+  x_.reserve(rows * features_);
+  targets_.reserve(rows);
+}
+
+void Dataset::clear() noexcept {
+  x_.clear();
+  targets_.clear();
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(features_);
+  out.reserve(indices.size());
+  for (const std::size_t i : indices) out.add_row(row(i), target(i));
+  return out;
+}
+
+std::vector<double> Regressor::predict_all(const Dataset& data) const {
+  std::vector<double> out(data.rows());
+  for (std::size_t r = 0; r < data.rows(); ++r) out[r] = predict(data.row(r));
+  return out;
+}
+
+}  // namespace prionn::ml

@@ -1,0 +1,54 @@
+// Flat numeric dataset shared by the traditional-ML baselines (the paper's
+// kNN / Decision Tree / Random Forest comparators, fed by the manually
+// extracted Table-1 features).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace prionn::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t features) : features_(features) {}
+
+  std::size_t rows() const noexcept { return targets_.size(); }
+  std::size_t features() const noexcept { return features_; }
+  bool empty() const noexcept { return targets_.empty(); }
+
+  void add_row(std::span<const double> x, double y);
+  void reserve(std::size_t rows);
+  void clear() noexcept;
+
+  std::span<const double> row(std::size_t r) const noexcept {
+    return {x_.data() + r * features_, features_};
+  }
+  double feature(std::size_t r, std::size_t f) const noexcept {
+    return x_[r * features_ + f];
+  }
+  double target(std::size_t r) const noexcept { return targets_[r]; }
+  std::span<const double> targets() const noexcept { return targets_; }
+
+  /// Row subset (copying), used for train/test splits in tests.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+ private:
+  std::size_t features_ = 0;
+  std::vector<double> x_;        // rows x features, row-major
+  std::vector<double> targets_;  // rows
+};
+
+/// A fitted regressor interface shared by all traditional models.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const Dataset& data) = 0;
+  virtual double predict(std::span<const double> x) const = 0;
+
+  std::vector<double> predict_all(const Dataset& data) const;
+};
+
+}  // namespace prionn::ml

@@ -1,0 +1,65 @@
+// CART regression tree: greedy variance-reduction splits on numeric
+// features. One of the paper's three traditional baselines and the building
+// block of the Random Forest.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace prionn::ml {
+
+struct DecisionTreeOptions {
+  std::size_t max_depth = 24;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features examined per split; 0 = all (plain tree). Forests set this to
+  /// roughly sqrt(d) or d/3.
+  std::size_t max_features = 0;
+  std::uint64_t seed = 7;  // only used when max_features subsamples
+};
+
+class DecisionTreeRegressor : public Regressor {
+ public:
+  explicit DecisionTreeRegressor(DecisionTreeOptions options = {});
+
+  void fit(const Dataset& data) override;
+  /// Fit on a row subset (shared by the forest's bootstrap samples).
+  void fit_rows(const Dataset& data, std::span<const std::size_t> rows);
+  double predict(std::span<const double> x) const override;
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+  /// Impurity-based feature importance: per-feature sum of the squared-
+  /// error reduction its splits achieved, normalised to sum to 1 (all
+  /// zeros when the tree is a single leaf).
+  const std::vector<double>& feature_importance() const noexcept {
+    return importance_;
+  }
+
+ private:
+  struct Node {
+    // Leaf when feature == kLeaf.
+    std::size_t feature = kLeaf;
+    double threshold = 0.0;
+    double value = 0.0;  // mean target (leaves)
+    std::size_t left = 0, right = 0;
+    static constexpr std::size_t kLeaf = static_cast<std::size_t>(-1);
+  };
+
+  std::size_t build(const Dataset& data, std::vector<std::size_t>& rows,
+                    std::size_t lo, std::size_t hi, std::size_t level);
+
+  DecisionTreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+  std::size_t depth_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace prionn::ml

@@ -1,0 +1,53 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace prionn::ml {
+
+KnnRegressor::KnnRegressor(KnnOptions options) : options_(options) {
+  if (options_.k == 0) throw std::invalid_argument("Knn: k must be > 0");
+}
+
+void KnnRegressor::fit(const Dataset& data) {
+  if (data.empty()) throw std::invalid_argument("Knn::fit: empty data");
+  train_ = data;
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  if (train_.empty()) throw std::logic_error("Knn::predict: not fitted");
+  if (x.size() != train_.features())
+    throw std::invalid_argument("Knn::predict: feature count mismatch");
+
+  std::vector<std::pair<double, double>> dist_target(train_.rows());
+  for (std::size_t r = 0; r < train_.rows(); ++r) {
+    const auto row = train_.row(r);
+    double d2 = 0.0;
+    for (std::size_t f = 0; f < x.size(); ++f) {
+      const double diff = row[f] - x[f];
+      d2 += diff * diff;
+    }
+    dist_target[r] = {d2, train_.target(r)};
+  }
+  const std::size_t k = std::min(options_.k, dist_target.size());
+  std::partial_sort(dist_target.begin(),
+                    dist_target.begin() + static_cast<std::ptrdiff_t>(k),
+                    dist_target.end());
+  if (!options_.distance_weighted) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < k; ++i) acc += dist_target[i].second;
+    return acc / static_cast<double>(k);
+  }
+  double weighted = 0.0, weight_sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    // An exact-distance-0 neighbour dominates via the epsilon floor.
+    const double w = 1.0 / (std::sqrt(dist_target[i].first) + 1e-9);
+    weighted += w * dist_target[i].second;
+    weight_sum += w;
+  }
+  return weighted / weight_sum;
+}
+
+}  // namespace prionn::ml

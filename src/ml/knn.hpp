@@ -1,0 +1,33 @@
+// k-Nearest-Neighbours regressor (Euclidean, brute force with partial
+// selection). The weakest of the paper's traditional baselines — label
+// encoding puts categorical features on an arbitrary metric, which the
+// paper cites as the likely cause.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/dataset.hpp"
+
+namespace prionn::ml {
+
+struct KnnOptions {
+  std::size_t k = 5;
+  /// When true, neighbour targets are weighted by inverse distance.
+  bool distance_weighted = false;
+};
+
+class KnnRegressor : public Regressor {
+ public:
+  explicit KnnRegressor(KnnOptions options = {});
+
+  KnnOptions options() const noexcept { return options_; }
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+
+ private:
+  KnnOptions options_;
+  Dataset train_;
+};
+
+}  // namespace prionn::ml

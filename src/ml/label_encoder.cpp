@@ -1,0 +1,19 @@
+#include "ml/label_encoder.hpp"
+
+namespace prionn::ml {
+
+double LabelEncoder::encode(std::string_view value) {
+  const auto it = to_id_.find(std::string(value));
+  if (it != to_id_.end()) return static_cast<double>(it->second);
+  const std::size_t id = to_value_.size();
+  to_value_.emplace_back(value);
+  to_id_.emplace(to_value_.back(), id);
+  return static_cast<double>(id);
+}
+
+double LabelEncoder::encode_const(std::string_view value) const noexcept {
+  const auto it = to_id_.find(std::string(value));
+  return it == to_id_.end() ? -1.0 : static_cast<double>(it->second);
+}
+
+}  // namespace prionn::ml

@@ -1,0 +1,30 @@
+// Label encoder: assigns a stable unique integer to each unique string, the
+// paper's method for turning categorical job-script features (user, group,
+// account, job name, directories) into numbers for the traditional models.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace prionn::ml {
+
+class LabelEncoder {
+ public:
+  /// Encode, assigning a fresh id on first sight.
+  double encode(std::string_view value);
+
+  /// Encode without inserting; unseen values map to -1 (the convention the
+  /// downstream trees/kNN treat as "other").
+  double encode_const(std::string_view value) const noexcept;
+
+  std::size_t classes() const noexcept { return to_id_.size(); }
+  const std::string& decode(std::size_t id) const { return to_value_.at(id); }
+
+ private:
+  std::unordered_map<std::string, std::size_t> to_id_;
+  std::vector<std::string> to_value_;
+};
+
+}  // namespace prionn::ml

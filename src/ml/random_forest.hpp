@@ -1,0 +1,40 @@
+// Random Forest regressor: bagged CART trees with per-split feature
+// subsampling. The paper identifies RF as the strongest traditional
+// baseline and compares PRIONN against it throughout.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace prionn::ml {
+
+struct RandomForestOptions {
+  std::size_t trees = 50;
+  /// tree.max_features 0 keeps all features per split — the scikit-learn
+  /// default for regression forests (diversity comes from bootstrapping);
+  /// set it explicitly for classification-style sqrt(d) subsampling.
+  DecisionTreeOptions tree;
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 13;
+};
+
+class RandomForestRegressor : public Regressor {
+ public:
+  explicit RandomForestRegressor(RandomForestOptions options = {});
+
+  void fit(const Dataset& data) override;
+  double predict(std::span<const double> x) const override;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  /// Mean of the member trees' impurity-based importances (sums to ~1).
+  std::vector<double> feature_importance() const;
+
+ private:
+  RandomForestOptions options_;
+  std::vector<std::unique_ptr<DecisionTreeRegressor>> trees_;
+};
+
+}  // namespace prionn::ml

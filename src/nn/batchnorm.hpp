@@ -1,0 +1,53 @@
+// Batch normalisation (Ioffe & Szegedy 2015) over the channel dimension.
+// Supports both (N, C) dense activations and (N, C, ...) convolutional
+// activations, normalising per channel across the batch and any trailing
+// spatial dimensions. Running statistics drive inference mode, so the
+// online protocol can predict between retraining events.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace prionn::nn {
+
+class BatchNorm : public Layer {
+ public:
+  explicit BatchNorm(std::size_t channels, double momentum = 0.9,
+                     double epsilon = 1e-5);
+  BatchNorm(Tensor gamma, Tensor beta, Tensor running_mean,
+            Tensor running_var, double momentum, double epsilon);
+
+  std::string kind() const override { return "batchnorm"; }
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&grad_gamma_, &grad_beta_};
+  }
+  void save(std::ostream& os) const override;
+  static std::unique_ptr<Layer> load(std::istream& is);
+
+  std::size_t channels() const noexcept { return gamma_.dim(0); }
+  const Tensor& running_mean() const noexcept { return running_mean_; }
+  const Tensor& running_variance() const noexcept { return running_var_; }
+
+ private:
+  /// Validate the input and return (channel index stride layout): the
+  /// number of (batch * spatial) samples normalised per channel.
+  std::size_t samples_per_channel(const Tensor& input) const;
+
+  Tensor gamma_, beta_;
+  Tensor grad_gamma_, grad_beta_;
+  Tensor running_mean_, running_var_;
+  double momentum_, epsilon_;
+
+  // Cached forward state for backward.
+  Tensor input_;
+  Tensor normalized_;   // x_hat
+  Tensor batch_mean_, batch_inv_std_;
+  bool trained_forward_ = false;
+};
+
+}  // namespace prionn::nn

@@ -1,0 +1,47 @@
+// 1-D convolution over (N, C, L) batches — the paper's 1D-CNN variant that
+// consumes the flattened script sequence.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace prionn::nn {
+
+class Conv1d : public Layer {
+ public:
+  Conv1d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, std::size_t pad,
+         util::Rng& rng);
+  Conv1d(Tensor weight, Tensor bias, std::size_t stride, std::size_t pad);
+
+  std::string kind() const override { return "conv1d"; }
+  Shape output_shape(const Shape& input) const override;
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> parameters() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> gradients() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  void save(std::ostream& os) const override;
+  static std::unique_ptr<Layer> load(std::istream& is);
+
+  std::size_t in_channels() const noexcept { return weight_.dim(1); }
+  std::size_t out_channels() const noexcept { return weight_.dim(0); }
+
+ private:
+  tensor::Conv1dGeom geometry(const Shape& sample) const;
+
+  Tensor weight_;  // (out_c, in_c, k)
+  Tensor bias_;    // (out_c)
+  Tensor grad_weight_;
+  Tensor grad_bias_;
+  std::size_t stride_ = 1;
+  std::size_t pad_ = 0;
+
+  Tensor input_;
+  tensor::Conv1dGeom geom_{};
+};
+
+}  // namespace prionn::nn

@@ -1,0 +1,178 @@
+#include "nn/conv2d.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/init.hpp"
+#include "tensor/gemm.hpp"
+
+namespace prionn::nn {
+
+namespace {
+// Lowered-patch buffers are processed in sub-batches bounded to this many
+// floats so the one-hot transform (128 input channels) cannot blow memory.
+constexpr std::size_t kMaxColsFloats = 16u << 20;  // 64 MiB
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_h, std::size_t kernel_w,
+               std::size_t stride, std::size_t pad, util::Rng& rng)
+    : weight_({out_channels, in_channels, kernel_h, kernel_w}),
+      bias_({out_channels}),
+      grad_weight_(weight_.shape()),
+      grad_bias_(bias_.shape()),
+      stride_(stride),
+      pad_(pad) {
+  he_init(weight_, in_channels * kernel_h * kernel_w, rng);
+}
+
+Conv2d::Conv2d(Tensor weight, Tensor bias, std::size_t stride,
+               std::size_t pad)
+    : weight_(std::move(weight)),
+      bias_(std::move(bias)),
+      grad_weight_(weight_.shape()),
+      grad_bias_(bias_.shape()),
+      stride_(stride),
+      pad_(pad) {
+  if (weight_.rank() != 4 || bias_.rank() != 1 ||
+      bias_.dim(0) != weight_.dim(0))
+    throw std::invalid_argument("Conv2d: inconsistent weight/bias shapes");
+}
+
+tensor::Conv2dGeom Conv2d::geometry(const Shape& sample) const {
+  if (sample.size() != 3 || sample[0] != in_channels())
+    throw std::invalid_argument(
+        "Conv2d: expected (C, H, W) sample with C = " +
+        std::to_string(in_channels()));
+  tensor::Conv2dGeom g;
+  g.channels = sample[0];
+  g.height = sample[1];
+  g.width = sample[2];
+  g.kernel_h = weight_.dim(2);
+  g.kernel_w = weight_.dim(3);
+  g.stride_h = g.stride_w = stride_;
+  g.pad_h = g.pad_w = pad_;
+  if (g.height + 2 * g.pad_h < g.kernel_h ||
+      g.width + 2 * g.pad_w < g.kernel_w)
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  return g;
+}
+
+Shape Conv2d::output_shape(const Shape& input) const {
+  const auto g = geometry(input);
+  return {out_channels(), g.out_h(), g.out_w()};
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
+  const std::size_t batch = input.dim(0);
+  geom_ = geometry({input.dim(1), input.dim(2), input.dim(3)});
+  input_ = input;
+
+  const std::size_t pr = geom_.patch_rows();
+  const std::size_t pixels = geom_.patch_cols();
+  const std::size_t oc = out_channels();
+  const std::size_t in_stride = geom_.channels * geom_.height * geom_.width;
+  Tensor out({batch, oc, geom_.out_h(), geom_.out_w()});
+
+  // Lower a sub-batch of images into one wide patch matrix and run a
+  // single GEMM per sub-batch: cols is (pr x chunk*pixels) with each
+  // sample occupying a contiguous column block, and the weight matrix
+  // (oc x pr) multiplies it in one call. This amortises the GEMM across
+  // the whole batch instead of issuing tiny per-sample multiplies.
+  const std::size_t chunk =
+      std::clamp<std::size_t>(kMaxColsFloats / (pr * pixels), 1, batch);
+  std::vector<float> cols(pr * chunk * pixels);
+  std::vector<float> gemm_out(oc * chunk * pixels);
+  for (std::size_t base = 0; base < batch; base += chunk) {
+    const std::size_t n = std::min(chunk, batch - base);
+    const std::size_t wide = n * pixels;
+    for (std::size_t s = 0; s < n; ++s) {
+      // Write sample s's patches into its column block; rows are strided
+      // by the full sub-batch width.
+      tensor::im2col_strided(geom_, input.data() + (base + s) * in_stride,
+                             cols.data() + s * pixels, wide);
+    }
+    tensor::gemm(oc, pr, wide, 1.0f, weight_.data(), cols.data(), 0.0f,
+                 gemm_out.data());
+    // Scatter (oc x n*pixels) back to (n, oc, pixels) layout with bias.
+    for (std::size_t c = 0; c < oc; ++c) {
+      const float b = bias_[c];
+      const float* src = gemm_out.data() + c * wide;
+      for (std::size_t s = 0; s < n; ++s) {
+        float* dst = out.data() + ((base + s) * oc + c) * pixels;
+        const float* block = src + s * pixels;
+        for (std::size_t p = 0; p < pixels; ++p) dst[p] = block[p] + b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.dim(0);
+  const std::size_t pr = geom_.patch_rows();
+  const std::size_t pixels = geom_.patch_cols();
+  const std::size_t oc = out_channels();
+  const std::size_t in_stride = geom_.channels * geom_.height * geom_.width;
+
+  Tensor grad_input(input_.shape());
+  const std::size_t chunk =
+      std::clamp<std::size_t>(kMaxColsFloats / (pr * pixels), 1, batch);
+  std::vector<float> cols(pr * chunk * pixels);
+  std::vector<float> dy(oc * chunk * pixels);
+  std::vector<float> grad_cols(pr * chunk * pixels);
+
+  for (std::size_t base = 0; base < batch; base += chunk) {
+    const std::size_t n = std::min(chunk, batch - base);
+    const std::size_t wide = n * pixels;
+    for (std::size_t s = 0; s < n; ++s) {
+      tensor::im2col_strided(geom_, input_.data() + (base + s) * in_stride,
+                             cols.data() + s * pixels, wide);
+      // Gather dY from (n, oc, pixels) into (oc x wide).
+      for (std::size_t c = 0; c < oc; ++c)
+        std::copy_n(grad_output.data() + ((base + s) * oc + c) * pixels,
+                    pixels, dy.data() + c * wide + s * pixels);
+    }
+    // dW += dY (oc x wide) * cols^T (wide x pr)
+    tensor::gemm_bt(oc, wide, pr, 1.0f, dy.data(), cols.data(), 1.0f,
+                    grad_weight_.data());
+    for (std::size_t c = 0; c < oc; ++c) {
+      const float* lane = dy.data() + c * wide;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < wide; ++p) acc += lane[p];
+      grad_bias_[c] += acc;
+    }
+    // d(cols) = W^T (pr x oc) * dY (oc x wide)
+    tensor::gemm_at(pr, oc, wide, 1.0f, weight_.data(), dy.data(), 0.0f,
+                    grad_cols.data());
+    for (std::size_t s = 0; s < n; ++s)
+      tensor::col2im_strided(geom_, grad_cols.data() + s * pixels, wide,
+                             grad_input.data() + (base + s) * in_stride);
+  }
+  return grad_input;
+}
+
+void Conv2d::save(std::ostream& os) const {
+  weight_.save(os);
+  bias_.save(os);
+  const std::uint64_t stride = stride_, pad = pad_;
+  os.write(reinterpret_cast<const char*>(&stride), sizeof(stride));
+  os.write(reinterpret_cast<const char*>(&pad), sizeof(pad));
+}
+
+std::unique_ptr<Layer> Conv2d::load(std::istream& is) {
+  Tensor w = Tensor::load(is);
+  Tensor b = Tensor::load(is);
+  std::uint64_t stride = 0, pad = 0;
+  is.read(reinterpret_cast<char*>(&stride), sizeof(stride));
+  is.read(reinterpret_cast<char*>(&pad), sizeof(pad));
+  if (!is) throw std::runtime_error("Conv2d::load: truncated stream");
+  return std::make_unique<Conv2d>(std::move(w), std::move(b),
+                                  static_cast<std::size_t>(stride),
+                                  static_cast<std::size_t>(pad));
+}
+
+}  // namespace prionn::nn

@@ -1,0 +1,46 @@
+#include "nn/dropout.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace prionn::nn {
+
+Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0 || rate >= 1.0)
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& input, bool training) {
+  trained_forward_ = training;
+  if (!training || rate_ == 0.0) return input;
+  mask_ = Tensor(input.shape());
+  const auto scale = static_cast<float>(1.0 / (1.0 - rate_));
+  Tensor out = input;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const bool keep = !rng_.bernoulli(rate_);
+    mask_[i] = keep ? scale : 0.0f;
+    out[i] *= mask_[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (!trained_forward_ || rate_ == 0.0) return grad_output;
+  Tensor grad = grad_output;
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] *= mask_[i];
+  return grad;
+}
+
+void Dropout::save(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&rate_), sizeof(rate_));
+}
+
+std::unique_ptr<Layer> Dropout::load(std::istream& is) {
+  double rate = 0.0;
+  is.read(reinterpret_cast<char*>(&rate), sizeof(rate));
+  if (!is) throw std::runtime_error("Dropout::load: truncated stream");
+  return std::make_unique<Dropout>(rate);
+}
+
+}  // namespace prionn::nn

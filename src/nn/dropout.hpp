@@ -1,0 +1,32 @@
+// Inverted dropout: active only in training mode; inference is identity,
+// so warm-started online retraining (paper section 2.3) and prediction can
+// share one network object.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace prionn::nn {
+
+class Dropout : public Layer {
+ public:
+  explicit Dropout(double rate, std::uint64_t seed = 0x5eedu);
+
+  std::string kind() const override { return "dropout"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  void save(std::ostream& os) const override;
+  static std::unique_ptr<Layer> load(std::istream& is);
+
+  double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  Tensor mask_;
+  bool trained_forward_ = false;
+};
+
+}  // namespace prionn::nn

@@ -1,0 +1,32 @@
+#include "nn/flatten.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace prionn::nn {
+
+Shape Flatten::output_shape(const Shape& input) const {
+  std::size_t n = 1;
+  for (const std::size_t d : input) n *= d;
+  return {n};
+}
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  Tensor out = input;
+  out.reshape({input.dim(0), input.size() / input.dim(0)});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  grad.reshape(input_shape_);
+  return grad;
+}
+
+void Flatten::save(std::ostream& /*os*/) const {}
+std::unique_ptr<Layer> Flatten::load(std::istream& /*is*/) {
+  return std::make_unique<Flatten>();
+}
+
+}  // namespace prionn::nn

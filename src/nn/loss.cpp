@@ -1,0 +1,62 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace prionn::nn {
+
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::uint32_t> labels) {
+  if (logits.rank() != 2)
+    throw std::invalid_argument("softmax_cross_entropy: logits must be N x C");
+  const std::size_t batch = logits.dim(0), classes = logits.dim(1);
+  if (labels.size() != batch)
+    throw std::invalid_argument("softmax_cross_entropy: label count mismatch");
+
+  LossResult result;
+  result.grad = logits;  // reuse as probability buffer
+  tensor::softmax_rows_inplace(result.grad);
+
+  double loss = 0.0;
+  const double floor = 1e-12;  // guard the log against exact zeros
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::uint32_t y = labels[n];
+    if (y >= classes)
+      throw std::out_of_range("softmax_cross_entropy: label out of range");
+    float* row = result.grad.data() + n * classes;
+    loss -= std::log(std::max(static_cast<double>(row[y]), floor));
+    // grad = (p - onehot) / N
+    row[y] -= 1.0f;
+    for (std::size_t c = 0; c < classes; ++c) row[c] *= inv_batch;
+  }
+  result.value = loss / static_cast<double>(batch);
+  return result;
+}
+
+tensor::Tensor softmax_probabilities(const tensor::Tensor& logits) {
+  tensor::Tensor probs = logits;
+  tensor::softmax_rows_inplace(probs);
+  return probs;
+}
+
+LossResult mean_squared_error(const tensor::Tensor& output,
+                              const tensor::Tensor& target) {
+  if (!output.same_shape(target))
+    throw std::invalid_argument("mean_squared_error: shape mismatch");
+  LossResult result;
+  result.grad = tensor::Tensor(output.shape());
+  double loss = 0.0;
+  const auto n = static_cast<double>(output.size());
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const float diff = output[i] - target[i];
+    loss += static_cast<double>(diff) * diff;
+    result.grad[i] = static_cast<float>(2.0 * diff / n);
+  }
+  result.value = loss / n;
+  return result;
+}
+
+}  // namespace prionn::nn

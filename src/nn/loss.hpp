@@ -1,0 +1,31 @@
+// Losses. The paper's models are classifiers (softmax over runtime / IO
+// bins), so softmax cross-entropy is the primary loss; MSE is kept for the
+// regression variants exercised in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace prionn::nn {
+
+struct LossResult {
+  double value = 0.0;      // mean loss over the batch
+  tensor::Tensor grad;     // dLoss/dLogits, same shape as the logits
+};
+
+/// Softmax + cross-entropy fused for numerical stability. `logits` is
+/// (N x C); `labels` holds N class indices in [0, C).
+LossResult softmax_cross_entropy(const tensor::Tensor& logits,
+                                 std::span<const std::uint32_t> labels);
+
+/// Per-row softmax probabilities of (N x C) logits (prediction path).
+tensor::Tensor softmax_probabilities(const tensor::Tensor& logits);
+
+/// Mean squared error against targets of identical shape.
+LossResult mean_squared_error(const tensor::Tensor& output,
+                              const tensor::Tensor& target);
+
+}  // namespace prionn::nn

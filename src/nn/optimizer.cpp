@@ -1,0 +1,76 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace prionn::nn {
+
+Sgd::Sgd(double lr, double momentum, double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("Sgd: lr must be positive");
+}
+
+void Sgd::step(const std::vector<tensor::Tensor*>& params,
+               const std::vector<tensor::Tensor*>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Sgd::step: param/grad count mismatch");
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    tensor::Tensor& w = *params[p];
+    const tensor::Tensor& g = *grads[p];
+    const auto lr = static_cast<float>(lr_);
+    const auto wd = static_cast<float>(weight_decay_);
+    if (momentum_ == 0.0) {
+      for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] -= lr * (g[i] + wd * w[i]);
+      continue;
+    }
+    auto [it, inserted] = velocity_.try_emplace(params[p], w.shape());
+    tensor::Tensor& v = it->second;
+    if (!inserted && !v.same_shape(w)) v = tensor::Tensor(w.shape());
+    const auto mu = static_cast<float>(momentum_);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      v[i] = mu * v[i] + g[i] + wd * w[i];
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps,
+           double weight_decay)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {
+  if (lr <= 0.0) throw std::invalid_argument("Adam: lr must be positive");
+}
+
+void Adam::step(const std::vector<tensor::Tensor*>& params,
+                const std::vector<tensor::Tensor*>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Adam::step: param/grad count mismatch");
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    tensor::Tensor& w = *params[p];
+    const tensor::Tensor& g = *grads[p];
+    auto [it, inserted] = moments_.try_emplace(params[p]);
+    Moments& st = it->second;
+    if (inserted || !st.m.same_shape(w)) {
+      st.m = tensor::Tensor(w.shape());
+      st.v = tensor::Tensor(w.shape());
+      st.t = 0;
+    }
+    ++st.t;
+    const auto b1 = static_cast<float>(beta1_);
+    const auto b2 = static_cast<float>(beta2_);
+    const auto wd = static_cast<float>(weight_decay_);
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(st.t));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(st.t));
+    const auto alpha = static_cast<float>(lr_ * std::sqrt(bc2) / bc1);
+    const auto eps = static_cast<float>(eps_);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const float gi = g[i] + wd * w[i];
+      st.m[i] = b1 * st.m[i] + (1.0f - b1) * gi;
+      st.v[i] = b2 * st.v[i] + (1.0f - b2) * gi * gi;
+      w[i] -= alpha * st.m[i] / (std::sqrt(st.v[i]) + eps);
+    }
+  }
+}
+
+}  // namespace prionn::nn

@@ -1,0 +1,152 @@
+#include "nn/pool.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace prionn::nn {
+
+namespace {
+std::uint64_t read_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!is) throw std::runtime_error("pool load: truncated stream");
+  return v;
+}
+void write_u64(std::ostream& os, std::uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+}  // namespace
+
+MaxPool2d::MaxPool2d(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride ? stride : window) {
+  if (window_ == 0) throw std::invalid_argument("MaxPool2d: window > 0");
+}
+
+Shape MaxPool2d::output_shape(const Shape& input) const {
+  if (input.size() != 3)
+    throw std::invalid_argument("MaxPool2d: expected (C, H, W)");
+  if (input[1] < window_ || input[2] < window_)
+    throw std::invalid_argument("MaxPool2d: window larger than input");
+  return {input[0], (input[1] - window_) / stride_ + 1,
+          (input[2] - window_) / stride_ + 1};
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0), c = input.dim(1);
+  const std::size_t h = input.dim(2), w = input.dim(3);
+  const std::size_t oh = (h - window_) / stride_ + 1;
+  const std::size_t ow = (w - window_) / stride_ + 1;
+  Tensor out({batch, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+  std::size_t oi = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = input.data() + (n * c + ch) * h * w;
+      const std::size_t plane_base = (n * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < window_; ++ky) {
+            const std::size_t iy = oy * stride_ + ky;
+            for (std::size_t kx = 0; kx < window_; ++kx) {
+              const std::size_t ix = ox * stride_ + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_base + iy * w + ix;
+              }
+            }
+          }
+          out[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i)
+    grad_input[argmax_[i]] += grad_output[i];
+  return grad_input;
+}
+
+void MaxPool2d::save(std::ostream& os) const {
+  write_u64(os, window_);
+  write_u64(os, stride_);
+}
+
+std::unique_ptr<Layer> MaxPool2d::load(std::istream& is) {
+  const auto window = static_cast<std::size_t>(read_u64(is));
+  const auto stride = static_cast<std::size_t>(read_u64(is));
+  return std::make_unique<MaxPool2d>(window, stride);
+}
+
+MaxPool1d::MaxPool1d(std::size_t window, std::size_t stride)
+    : window_(window), stride_(stride ? stride : window) {
+  if (window_ == 0) throw std::invalid_argument("MaxPool1d: window > 0");
+}
+
+Shape MaxPool1d::output_shape(const Shape& input) const {
+  if (input.size() != 2)
+    throw std::invalid_argument("MaxPool1d: expected (C, L)");
+  if (input[1] < window_)
+    throw std::invalid_argument("MaxPool1d: window larger than input");
+  return {input[0], (input[1] - window_) / stride_ + 1};
+}
+
+Tensor MaxPool1d::forward(const Tensor& input, bool /*training*/) {
+  input_shape_ = input.shape();
+  const std::size_t batch = input.dim(0), c = input.dim(1);
+  const std::size_t len = input.dim(2);
+  const std::size_t ol = (len - window_) / stride_ + 1;
+  Tensor out({batch, c, ol});
+  argmax_.assign(out.size(), 0);
+  std::size_t oi = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* lane = input.data() + (n * c + ch) * len;
+      const std::size_t lane_base = (n * c + ch) * len;
+      for (std::size_t o = 0; o < ol; ++o, ++oi) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t k = 0; k < window_; ++k) {
+          const std::size_t i = o * stride_ + k;
+          if (lane[i] > best) {
+            best = lane[i];
+            best_idx = lane_base + i;
+          }
+        }
+        out[oi] = best;
+        argmax_[oi] = best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool1d::backward(const Tensor& grad_output) {
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < grad_output.size(); ++i)
+    grad_input[argmax_[i]] += grad_output[i];
+  return grad_input;
+}
+
+void MaxPool1d::save(std::ostream& os) const {
+  write_u64(os, window_);
+  write_u64(os, stride_);
+}
+
+std::unique_ptr<Layer> MaxPool1d::load(std::istream& is) {
+  const auto window = static_cast<std::size_t>(read_u64(is));
+  const auto stride = static_cast<std::size_t>(read_u64(is));
+  return std::make_unique<MaxPool1d>(window, stride);
+}
+
+}  // namespace prionn::nn

@@ -1,0 +1,14 @@
+// Network (de)serialisation: a tagged sequence of layers. Used to
+// checkpoint PRIONN models between online retraining events and in tests.
+#pragma once
+
+#include <iosfwd>
+
+namespace prionn::nn {
+
+class Network;
+
+void save_network(std::ostream& os, const Network& net);
+Network load_network(std::istream& is);
+
+}  // namespace prionn::nn

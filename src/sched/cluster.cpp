@@ -1,0 +1,190 @@
+#include "sched/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace prionn::sched {
+
+namespace {
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+constexpr double kMinRemaining = 1.0;  // seconds
+}  // namespace
+
+ClusterSimulator::ClusterSimulator(ClusterOptions options)
+    : options_(options), free_nodes_(options.total_nodes) {
+  if (options_.total_nodes == 0)
+    throw std::invalid_argument("ClusterSimulator: need at least one node");
+}
+
+double ClusterSimulator::next_completion_time() const noexcept {
+  double t = kInfinity;
+  for (const auto& r : running_) t = std::min(t, r.actual_end);
+  return t;
+}
+
+void ClusterSimulator::complete_due_jobs() {
+  // Pop every running job whose actual end is due. Iterate because several
+  // jobs can end at the same instant.
+  for (std::size_t i = 0; i < running_.size();) {
+    if (running_[i].actual_end <= now_ + 1e-9) {
+      const Running& r = running_[i];
+      completed_.push_back(
+          ScheduledJob{r.id, r.submit, r.start, r.actual_end});
+      free_nodes_ += r.nodes;
+      running_[i] = running_.back();
+      running_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void ClusterSimulator::start_job(const SimJob& job, std::size_t queue_pos) {
+  free_nodes_ -= job.nodes;
+  Running r;
+  r.id = job.id;
+  r.nodes = job.nodes;
+  r.start = now_;
+  r.submit = job.submit_time;
+  r.actual_end = now_ + std::max(job.runtime, kMinRemaining);
+  r.believed_end = now_ + std::max(job.believed_runtime, kMinRemaining);
+  running_.push_back(r);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+}
+
+void ClusterSimulator::try_start_jobs() {
+  // FCFS: start queue-head jobs while they fit.
+  while (!queue_.empty() && queue_.front().nodes <= free_nodes_) {
+    if (queue_.front().nodes > options_.total_nodes)
+      throw std::invalid_argument(
+          "ClusterSimulator: job larger than the machine");
+    start_job(queue_.front(), 0);
+  }
+  if (queue_.empty() || !options_.easy_backfill) return;
+  if (queue_.front().nodes > options_.total_nodes)
+    throw std::invalid_argument(
+        "ClusterSimulator: job larger than the machine");
+
+  // EASY backfill. Compute the shadow time: the earliest instant the
+  // blocked head job could start, believing the scheduler's runtime
+  // estimates, and the nodes left over at that instant.
+  std::vector<std::pair<double, std::uint32_t>> releases;  // (believed_end, nodes)
+  releases.reserve(running_.size());
+  for (const auto& r : running_)
+    releases.emplace_back(std::max(r.believed_end, now_), r.nodes);
+  std::sort(releases.begin(), releases.end());
+
+  const std::uint32_t head_nodes = queue_.front().nodes;
+  std::uint32_t available = free_nodes_;
+  double shadow_time = now_;
+  for (const auto& [end, nodes] : releases) {
+    if (available >= head_nodes) break;
+    available += nodes;
+    shadow_time = end;
+  }
+  // Nodes that can be used by backfilled jobs without delaying the head's
+  // reservation: the surplus at shadow time.
+  const std::uint32_t extra_nodes =
+      available >= head_nodes ? available - head_nodes : 0;
+
+  for (std::size_t i = 1; i < queue_.size();) {
+    const SimJob& candidate = queue_[i];
+    if (candidate.nodes <= free_nodes_) {
+      const double believed_end =
+          now_ + std::max(candidate.believed_runtime, kMinRemaining);
+      const bool fits_before_shadow = believed_end <= shadow_time + 1e-9;
+      const bool fits_in_extra = candidate.nodes <= extra_nodes;
+      if (fits_before_shadow || fits_in_extra) {
+        start_job(candidate, i);
+        continue;  // same index now holds the next candidate
+      }
+    }
+    ++i;
+  }
+}
+
+void ClusterSimulator::advance_to(double time) {
+  if (time < now_) return;
+  for (;;) {
+    const double next = next_completion_time();
+    if (next > time) break;
+    now_ = next;
+    complete_due_jobs();
+    try_start_jobs();
+  }
+  now_ = time;
+}
+
+void ClusterSimulator::submit(const SimJob& job) {
+  if (job.submit_time < now_)
+    throw std::invalid_argument(
+        "ClusterSimulator::submit: out-of-order submission");
+  advance_to(job.submit_time);
+  queue_.push_back(job);
+  try_start_jobs();
+}
+
+void ClusterSimulator::drain() {
+  while (!idle()) {
+    const double next = next_completion_time();
+    if (next == kInfinity) {
+      // Queue non-empty but nothing running: should be impossible unless a
+      // job is larger than the machine, which submit()/try_start throw on.
+      throw std::logic_error("ClusterSimulator::drain: deadlocked queue");
+    }
+    advance_to(next);
+  }
+}
+
+std::vector<ScheduledJob> ClusterSimulator::run(
+    const std::vector<SimJob>& jobs) {
+  for (const auto& job : jobs) submit(job);
+  drain();
+  return completed_;
+}
+
+double ClusterSimulator::snapshot_turnaround(
+    std::uint64_t job_id,
+    const std::function<double(std::uint64_t)>& predicted) const {
+  ClusterSimulator clone = *this;
+  clone.completed_.clear();
+
+  // Replace runtimes of running jobs with prediction-derived remainders.
+  for (auto& r : clone.running_) {
+    const double elapsed = clone.now_ - r.start;
+    const double remaining =
+        std::max(kMinRemaining, predicted(r.id) - elapsed);
+    r.actual_end = clone.now_ + remaining;
+    r.believed_end = r.actual_end;
+  }
+  // Replace runtimes of queued jobs with predictions outright.
+  bool found = false;
+  for (auto& q : clone.queue_) {
+    const double p = std::max(kMinRemaining, predicted(q.id));
+    q.runtime = p;
+    q.believed_runtime = p;
+    if (q.id == job_id) found = true;
+  }
+  for (const auto& r : clone.running_)
+    if (r.id == job_id) found = true;
+  if (!found) return -1.0;
+
+  // Replay the clone until the target job completes.
+  double submit_time = -1.0, end_time = -1.0;
+  while (!clone.idle()) {
+    const double next = clone.next_completion_time();
+    if (next == kInfinity) break;
+    clone.advance_to(next);
+    for (const auto& done : clone.completed_) {
+      if (done.id == job_id) {
+        submit_time = done.submit_time;
+        end_time = done.end_time;
+      }
+    }
+    if (end_time >= 0.0) break;
+  }
+  return end_time >= 0.0 ? end_time - submit_time : -1.0;
+}
+
+}  // namespace prionn::sched

@@ -1,0 +1,40 @@
+#include "sched/io_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace prionn::sched {
+
+IoTimeline::IoTimeline(double bucket_seconds)
+    : bucket_seconds_(bucket_seconds) {
+  if (bucket_seconds <= 0.0)
+    throw std::invalid_argument("IoTimeline: bucket_seconds must be > 0");
+}
+
+void IoTimeline::add(const IoInterval& interval) {
+  if (interval.end_time <= interval.start_time || interval.bandwidth <= 0.0)
+    return;
+  const double start = std::max(0.0, interval.start_time);
+  const double end = std::max(start, interval.end_time);
+  const auto first =
+      static_cast<std::size_t>(std::floor(start / bucket_seconds_));
+  const auto last =
+      static_cast<std::size_t>(std::ceil(end / bucket_seconds_));
+  if (last > buckets_.size()) buckets_.resize(last, 0.0);
+  for (std::size_t b = first; b < last; ++b) {
+    // Pro-rate partial bucket coverage so short jobs are not over-counted.
+    const double b_lo = static_cast<double>(b) * bucket_seconds_;
+    const double b_hi = b_lo + bucket_seconds_;
+    const double overlap =
+        std::min(end, b_hi) - std::max(start, b_lo);
+    if (overlap > 0.0)
+      buckets_[b] += interval.bandwidth * overlap / bucket_seconds_;
+  }
+}
+
+void IoTimeline::add(const std::vector<IoInterval>& intervals) {
+  for (const auto& i : intervals) add(i);
+}
+
+}  // namespace prionn::sched

@@ -1,0 +1,121 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prionn::tensor {
+
+std::size_t shape_size(const Shape& shape) noexcept {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_size(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape " +
+                                shape_to_string(shape_));
+}
+
+Tensor Tensor::from_values(std::initializer_list<float> values) {
+  return Tensor({values.size()}, std::vector<float>(values));
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::reshape(Shape shape) {
+  if (shape_size(shape) != data_.size())
+    throw std::invalid_argument("Tensor::reshape: size mismatch, have " +
+                                shape_to_string(shape_) + " want " +
+                                shape_to_string(shape));
+  shape_ = std::move(shape);
+  return *this;
+}
+
+Tensor Tensor::row(std::size_t r) const {
+  if (rank() != 2) throw std::logic_error("Tensor::row: rank-2 only");
+  const std::size_t cols = shape_[1];
+  Tensor out({cols});
+  std::copy_n(data_.data() + r * cols, cols, out.data());
+  return out;
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  if (!same_shape(other))
+    throw std::invalid_argument("Tensor::+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  if (!same_shape(other))
+    throw std::invalid_argument("Tensor::-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (float& x : data_) x *= scalar;
+  return *this;
+}
+
+void Tensor::axpy(float alpha, const Tensor& x) {
+  if (!same_shape(x)) throw std::invalid_argument("Tensor::axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * x.data_[i];
+}
+
+void Tensor::save(std::ostream& os) const {
+  const auto rank64 = static_cast<std::uint64_t>(shape_.size());
+  os.write(reinterpret_cast<const char*>(&rank64), sizeof(rank64));
+  for (const std::size_t d : shape_) {
+    const auto d64 = static_cast<std::uint64_t>(d);
+    os.write(reinterpret_cast<const char*>(&d64), sizeof(d64));
+  }
+  os.write(reinterpret_cast<const char*>(data_.data()),
+           static_cast<std::streamsize>(data_.size() * sizeof(float)));
+}
+
+Tensor Tensor::load(std::istream& is) {
+  std::uint64_t rank64 = 0;
+  is.read(reinterpret_cast<char*>(&rank64), sizeof(rank64));
+  if (!is || rank64 > 8)
+    throw std::runtime_error("Tensor::load: corrupt header");
+  Shape shape(rank64);
+  for (auto& d : shape) {
+    std::uint64_t d64 = 0;
+    is.read(reinterpret_cast<char*>(&d64), sizeof(d64));
+    d = static_cast<std::size_t>(d64);
+  }
+  Tensor out(std::move(shape));
+  is.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("Tensor::load: truncated payload");
+  return out;
+}
+
+}  // namespace prionn::tensor

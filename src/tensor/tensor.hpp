@@ -1,0 +1,102 @@
+// Dense float32 n-dimensional array with row-major layout — the storage
+// type behind the neural-network substrate. Kept deliberately simple: a
+// contiguous, owning buffer plus a shape; views and broadcasting are not
+// needed by this library and are omitted per the Core Guidelines advice to
+// prefer the simplest abstraction that serves the callers.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prionn::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+std::size_t shape_size(const Shape& shape) noexcept;
+std::string shape_to_string(const Shape& shape);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, float fill);
+  Tensor(Shape shape, std::vector<float> data);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float value) {
+    return Tensor(std::move(shape), value);
+  }
+  /// 1-D tensor from values.
+  static Tensor from_values(std::initializer_list<float> values);
+
+  const Shape& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return shape_.size(); }
+  std::size_t size() const noexcept { return data_.size(); }
+  std::size_t dim(std::size_t axis) const { return shape_.at(axis); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+  std::span<float> span() noexcept { return data_; }
+  std::span<const float> span() const noexcept { return data_; }
+
+  float& operator[](std::size_t i) noexcept { return data_[i]; }
+  float operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  /// Multi-index access (bounds-checked in debug builds only).
+  float& at(std::size_t i0) noexcept { return data_[i0]; }
+  float& at(std::size_t i0, std::size_t i1) noexcept {
+    return data_[i0 * shape_[1] + i1];
+  }
+  float at(std::size_t i0, std::size_t i1) const noexcept {
+    return data_[i0 * shape_[1] + i1];
+  }
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2) noexcept {
+    return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
+  }
+  float at(std::size_t i0, std::size_t i1, std::size_t i2) const noexcept {
+    return data_[(i0 * shape_[1] + i1) * shape_[2] + i2];
+  }
+  float& at(std::size_t i0, std::size_t i1, std::size_t i2,
+            std::size_t i3) noexcept {
+    return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+  }
+  float at(std::size_t i0, std::size_t i1, std::size_t i2,
+           std::size_t i3) const noexcept {
+    return data_[((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3];
+  }
+
+  void fill(float value) noexcept;
+  /// Reinterpret the buffer under a new shape of identical total size.
+  Tensor& reshape(Shape shape);
+  /// Copy of row `r` of a rank-2 tensor as a rank-1 tensor.
+  Tensor row(std::size_t r) const;
+
+  /// In-place arithmetic (element-wise; shapes must match).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar) noexcept;
+
+  /// y += alpha * x for matching shapes.
+  void axpy(float alpha, const Tensor& x);
+
+  bool same_shape(const Tensor& other) const noexcept {
+    return shape_ == other.shape_;
+  }
+
+  /// Binary serialisation (little-endian host assumed, as everywhere in
+  /// this library).
+  void save(std::ostream& os) const;
+  static Tensor load(std::istream& is);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace prionn::tensor

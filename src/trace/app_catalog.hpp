@@ -1,0 +1,75 @@
+// Catalogue of synthetic HPC application families. Each family renders a
+// realistic SLURM job script from a small set of discrete configuration
+// levels and defines the ground-truth runtime/IO of a job as a function of
+// THE SAME parameters that appear in the script text (plus noise). That is
+// the property the reproduction needs: the mapping from script text to
+// resource usage is learnable, exactly as it is for the paper's real trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace prionn::trace {
+
+/// One concrete configuration of a family: the tuple a user's job script
+/// fixes. Identical configs render byte-identical scripts, which produces
+/// the repeated-script structure of the Cab dataset (295k jobs but only
+/// 97k unique scripts).
+struct JobConfig {
+  std::size_t family = 0;
+  std::uint32_t size = 0;    // problem-size level (appears in script)
+  std::uint32_t steps = 0;   // iteration-count level (appears in script)
+  std::uint32_t nodes = 1;   // node count (appears in script)
+  std::uint32_t tasks = 1;   // MPI ranks (appears in script)
+  std::uint32_t requested_minutes = 30;
+
+  bool operator==(const JobConfig&) const = default;
+};
+
+struct AppFamily {
+  std::string name;       // binary/application name, e.g. "hydro3d"
+  std::string account;    // bank the family's users charge
+  std::string partition;  // "pbatch" / "pdebug"
+  std::vector<std::uint32_t> size_levels;
+  std::vector<std::uint32_t> step_levels;
+  std::vector<std::uint32_t> node_levels;
+  std::uint32_t tasks_per_node = 16;
+
+  // Ground-truth models (see runtime_minutes/read_bytes/write_bytes).
+  double base_minutes = 1.0;      // minutes at reference size/steps/nodes
+  double size_exponent = 1.0;     // runtime ~ (size/size0)^e
+  double runtime_noise_sigma = 0.05;
+  double read_bytes_per_size3 = 0.0;   // input deck ~ size^3
+  double read_bytes_base = 1e6;
+  double write_bytes_per_step = 0.0;   // dumps ~ steps * size^2
+  double io_noise_sigma = 0.15;
+
+  /// Deterministic part of the runtime model, in minutes (before noise).
+  double nominal_minutes(const JobConfig& c) const noexcept;
+  double nominal_read_bytes(const JobConfig& c) const noexcept;
+  double nominal_write_bytes(const JobConfig& c) const noexcept;
+};
+
+/// The built-in catalogue (a dozen families spanning the runtime and IO
+/// ranges of the Cab trace: half the jobs under an hour, runtimes capped at
+/// 16 h, IO bandwidth heavy-tailed over several orders of magnitude).
+const std::vector<AppFamily>& default_catalog();
+
+/// A smaller 1990s-flavoured catalogue for the SDSC-like traces used by the
+/// Table 2 replication (longer, more variable runtimes; negligible IO).
+const std::vector<AppFamily>& sdsc_catalog();
+
+/// Render the full job-script text for a user's config. Pure function of
+/// (catalog, config, user, group): repeated configs give identical text.
+std::string render_script(const std::vector<AppFamily>& catalog,
+                          const JobConfig& config, const std::string& user,
+                          const std::string& group);
+
+/// Draw a fresh random config for a family.
+JobConfig sample_config(const std::vector<AppFamily>& catalog,
+                        std::size_t family, util::Rng& rng);
+
+}  // namespace prionn::trace

@@ -1,0 +1,100 @@
+#include "trace/features.hpp"
+
+#include <charconv>
+#include <cmath>
+
+#include "util/string_util.hpp"
+
+namespace prionn::trace {
+
+namespace {
+
+using util::starts_with;
+using util::trim;
+
+double parse_number(std::string_view text, double fallback) noexcept {
+  double value = fallback;
+  const auto t = trim(text);
+  std::from_chars(t.data(), t.data() + t.size(), value);
+  // from_chars accepts "nan"/"inf" spellings for doubles; a non-finite
+  // feature value would poison every downstream model, so fall back.
+  return std::isfinite(value) ? value : fallback;
+}
+
+/// "#SBATCH --key=value" or "#SBATCH --key value".
+std::optional<std::string_view> sbatch_value(std::string_view line,
+                                             std::string_view key) {
+  const auto t = trim(line);
+  if (!starts_with(t, "#SBATCH")) return std::nullopt;
+  auto rest = trim(t.substr(7));
+  if (!starts_with(rest, key)) return std::nullopt;
+  rest = rest.substr(key.size());
+  if (rest.empty()) return std::nullopt;
+  if (rest.front() == '=') return trim(rest.substr(1));
+  if (rest.front() == ' ' || rest.front() == '\t') return trim(rest);
+  return std::nullopt;  // longer option sharing the prefix
+}
+
+/// "HH:MM:SS", "MM:SS" or plain minutes, per sbatch's --time grammar.
+double parse_walltime_hours(std::string_view text) noexcept {
+  const auto parts = util::split(std::string(text), ':');
+  double minutes = 0.0;
+  if (parts.size() == 3) {
+    minutes = parse_number(parts[0], 0.0) * 60.0 +
+              parse_number(parts[1], 0.0) +
+              parse_number(parts[2], 0.0) / 60.0;
+  } else if (parts.size() == 2) {
+    minutes = parse_number(parts[0], 0.0) + parse_number(parts[1], 0.0) / 60.0;
+  } else {
+    minutes = parse_number(text, 0.0);
+  }
+  return minutes / 60.0;
+}
+
+}  // namespace
+
+ScriptFeatures parse_script(std::string_view script) {
+  ScriptFeatures f;
+  for (const auto& line : util::split_lines(script)) {
+    if (const auto v = sbatch_value(line, "--time"))
+      f.requested_hours = parse_walltime_hours(*v);
+    else if (const auto v2 = sbatch_value(line, "--nodes"))
+      f.requested_nodes = parse_number(*v2, 1.0);
+    else if (const auto v3 = sbatch_value(line, "--ntasks"))
+      f.requested_tasks = parse_number(*v3, 1.0);
+    else if (const auto v4 = sbatch_value(line, "--account"))
+      f.account = std::string(*v4);
+    else if (const auto v5 = sbatch_value(line, "--job-name"))
+      f.job_name = std::string(*v5);
+    else if (const auto v6 = sbatch_value(line, "--mail-user")) {
+      const auto at = v6->find('@');
+      f.user = std::string(v6->substr(0, at));
+    } else {
+      const auto t = trim(line);
+      if (starts_with(t, "# group:"))
+        f.group = std::string(trim(t.substr(8)));
+      else if (starts_with(t, "# submitted from "))
+        f.submission_dir = std::string(trim(t.substr(17)));
+      else if (starts_with(t, "cd ") && f.working_dir.empty())
+        f.working_dir = std::string(trim(t.substr(3)));
+    }
+  }
+  return f;
+}
+
+std::array<double, ScriptFeatures::kCount> FeatureEncoder::encode(
+    const ScriptFeatures& f) {
+  return {
+      f.requested_hours,
+      f.requested_nodes,
+      f.requested_tasks,
+      user_.encode(f.user),
+      group_.encode(f.group),
+      account_.encode(f.account),
+      job_name_.encode(f.job_name),
+      working_dir_.encode(f.working_dir),
+      submission_dir_.encode(f.submission_dir),
+  };
+}
+
+}  // namespace prionn::trace

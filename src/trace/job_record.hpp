@@ -1,0 +1,51 @@
+// The job record: everything the paper's dataset provides per job — the
+// job script, submission metadata, user-requested resources, and the
+// ground-truth execution/IO measurements used as training labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prionn::trace {
+
+struct JobRecord {
+  std::uint64_t job_id = 0;
+
+  // Submission metadata (what the scheduler knows at submit time).
+  std::string user;
+  std::string group;
+  std::string account;
+  std::string job_name;
+  std::string working_dir;
+  std::string submission_dir;
+  std::string script;  // full job-script text
+
+  double submit_time = 0.0;  // seconds since trace start
+  double requested_minutes = 0.0;
+  std::uint32_t requested_nodes = 1;
+  std::uint32_t requested_tasks = 1;
+
+  // Ground truth, known only after the job ran (training labels).
+  bool canceled = false;       // canceled/removed jobs are excluded (§2.3)
+  double runtime_minutes = 0.0;
+  double bytes_read = 0.0;
+  double bytes_written = 0.0;
+
+  // Times measured on the original system; the scheduler simulator
+  // recomputes its own schedule, these reflect the generator's.
+  double start_time = 0.0;
+  double end_time = 0.0;
+
+  double runtime_seconds() const noexcept { return runtime_minutes * 60.0; }
+  /// Read bandwidth in bytes/s over the job's lifetime (0 if degenerate).
+  double read_bandwidth() const noexcept {
+    const double s = runtime_seconds();
+    return s > 0.0 ? bytes_read / s : 0.0;
+  }
+  double write_bandwidth() const noexcept {
+    const double s = runtime_seconds();
+    return s > 0.0 ? bytes_written / s : 0.0;
+  }
+};
+
+}  // namespace prionn::trace

@@ -1,0 +1,76 @@
+#include "trace/stats.hpp"
+
+#include "trace/workload.hpp"
+
+namespace prionn::trace {
+
+std::vector<double> runtimes_of(const std::vector<JobRecord>& jobs) {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs)
+    if (!j.canceled) out.push_back(j.runtime_minutes);
+  return out;
+}
+
+std::vector<double> requested_of(const std::vector<JobRecord>& jobs) {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs)
+    if (!j.canceled) out.push_back(j.requested_minutes);
+  return out;
+}
+
+TraceSummary summarize(const std::vector<JobRecord>& jobs) {
+  TraceSummary s;
+  s.total_jobs = jobs.size();
+  s.unique_scripts = unique_script_count(jobs);
+
+  std::vector<double> runtimes, requests, read_bw, write_bw, accuracy;
+  double error_sum = 0.0;
+  for (const auto& j : jobs) {
+    if (j.canceled) {
+      ++s.canceled_jobs;
+      continue;
+    }
+    runtimes.push_back(j.runtime_minutes);
+    requests.push_back(j.requested_minutes);
+    error_sum += j.requested_minutes - j.runtime_minutes;
+    accuracy.push_back(
+        util::relative_accuracy(j.runtime_minutes, j.requested_minutes));
+    read_bw.push_back(j.read_bandwidth());
+    write_bw.push_back(j.write_bandwidth());
+  }
+  s.runtime_minutes = util::boxplot_summary(runtimes);
+  s.requested_minutes = util::boxplot_summary(requests);
+  const std::size_t completed = runtimes.size();
+  s.user_request_mean_error_minutes =
+      completed ? error_sum / static_cast<double>(completed) : 0.0;
+  s.user_request_mean_relative_accuracy = util::mean(accuracy);
+  s.read_bandwidth = util::boxplot_summary(read_bw);
+  s.write_bandwidth = util::boxplot_summary(write_bw);
+  return s;
+}
+
+util::Histogram runtime_histogram(const std::vector<JobRecord>& jobs) {
+  auto h = util::Histogram::linear(0.0, 960.0, 16);
+  for (const auto& j : jobs)
+    if (!j.canceled) h.add(j.runtime_minutes);
+  return h;
+}
+
+util::Histogram read_bandwidth_histogram(const std::vector<JobRecord>& jobs) {
+  auto h = util::Histogram::logarithmic(1e2, 1e10, 16);
+  for (const auto& j : jobs)
+    if (!j.canceled) h.add(j.read_bandwidth());
+  return h;
+}
+
+util::Histogram write_bandwidth_histogram(
+    const std::vector<JobRecord>& jobs) {
+  auto h = util::Histogram::logarithmic(1e2, 1e10, 16);
+  for (const auto& j : jobs)
+    if (!j.canceled) h.add(j.write_bandwidth());
+  return h;
+}
+
+}  // namespace prionn::trace

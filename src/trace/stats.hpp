@@ -1,0 +1,38 @@
+// Trace-level descriptive statistics backing the distribution panels of
+// the paper's figures (8a, 9a, 11a, 12a, 14a) and the generator's
+// calibration tests.
+#pragma once
+
+#include <vector>
+
+#include "trace/job_record.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace prionn::trace {
+
+struct TraceSummary {
+  std::size_t total_jobs = 0;
+  std::size_t canceled_jobs = 0;
+  std::size_t unique_scripts = 0;
+  util::BoxplotSummary runtime_minutes;
+  util::BoxplotSummary requested_minutes;
+  double user_request_mean_error_minutes = 0.0;  // mean(request - actual)
+  double user_request_mean_relative_accuracy = 0.0;
+  util::BoxplotSummary read_bandwidth;   // bytes/s, completed jobs
+  util::BoxplotSummary write_bandwidth;  // bytes/s
+};
+
+TraceSummary summarize(const std::vector<JobRecord>& jobs);
+
+/// Runtime histogram in one-hour buckets up to the 16-hour cap (Fig. 8a).
+util::Histogram runtime_histogram(const std::vector<JobRecord>& jobs);
+
+/// Log-scale bandwidth histograms (Fig. 9a).
+util::Histogram read_bandwidth_histogram(const std::vector<JobRecord>& jobs);
+util::Histogram write_bandwidth_histogram(const std::vector<JobRecord>& jobs);
+
+std::vector<double> runtimes_of(const std::vector<JobRecord>& jobs);
+std::vector<double> requested_of(const std::vector<JobRecord>& jobs);
+
+}  // namespace prionn::trace

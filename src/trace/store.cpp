@@ -1,0 +1,104 @@
+#include "trace/store.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace prionn::trace {
+
+namespace {
+constexpr std::string_view kHeader = "PRIONN-TRACE v1";
+}
+
+void save_trace(std::ostream& os, const std::vector<JobRecord>& jobs) {
+  os << kHeader << "\n" << jobs.size() << "\n";
+  os.precision(17);
+  for (const auto& j : jobs) {
+    os << "job " << j.job_id << "\n"
+       << "user " << j.user << "\n"
+       << "group " << j.group << "\n"
+       << "account " << j.account << "\n"
+       << "name " << j.job_name << "\n"
+       << "wdir " << j.working_dir << "\n"
+       << "sdir " << j.submission_dir << "\n"
+       << "submit " << j.submit_time << "\n"
+       << "req_min " << j.requested_minutes << "\n"
+       << "req_nodes " << j.requested_nodes << "\n"
+       << "req_tasks " << j.requested_tasks << "\n"
+       << "canceled " << (j.canceled ? 1 : 0) << "\n"
+       << "runtime_min " << j.runtime_minutes << "\n"
+       << "bytes_read " << j.bytes_read << "\n"
+       << "bytes_written " << j.bytes_written << "\n"
+       << "start " << j.start_time << "\n"
+       << "end " << j.end_time << "\n"
+       << "script_bytes " << j.script.size() << "\n"
+       << j.script << "\n";
+  }
+}
+
+std::vector<JobRecord> load_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader)
+    throw std::runtime_error("load_trace: not a PRIONN trace");
+  std::size_t count = 0;
+  is >> count;
+  is.ignore();  // trailing newline
+
+  const auto expect = [&](const char* key) -> std::string {
+    if (!std::getline(is, line))
+      throw std::runtime_error("load_trace: truncated at key " +
+                               std::string(key));
+    const auto space = line.find(' ');
+    if (line.substr(0, space) != key)
+      throw std::runtime_error("load_trace: expected key '" +
+                               std::string(key) + "', got '" + line + "'");
+    return space == std::string::npos ? std::string() : line.substr(space + 1);
+  };
+
+  std::vector<JobRecord> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    JobRecord j;
+    j.job_id = std::stoull(expect("job"));
+    j.user = expect("user");
+    j.group = expect("group");
+    j.account = expect("account");
+    j.job_name = expect("name");
+    j.working_dir = expect("wdir");
+    j.submission_dir = expect("sdir");
+    j.submit_time = std::stod(expect("submit"));
+    j.requested_minutes = std::stod(expect("req_min"));
+    j.requested_nodes = static_cast<std::uint32_t>(
+        std::stoul(expect("req_nodes")));
+    j.requested_tasks = static_cast<std::uint32_t>(
+        std::stoul(expect("req_tasks")));
+    j.canceled = expect("canceled") == "1";
+    j.runtime_minutes = std::stod(expect("runtime_min"));
+    j.bytes_read = std::stod(expect("bytes_read"));
+    j.bytes_written = std::stod(expect("bytes_written"));
+    j.start_time = std::stod(expect("start"));
+    j.end_time = std::stod(expect("end"));
+    const std::size_t script_bytes = std::stoull(expect("script_bytes"));
+    j.script.resize(script_bytes);
+    is.read(j.script.data(), static_cast<std::streamsize>(script_bytes));
+    is.ignore();  // newline after the payload
+    if (!is) throw std::runtime_error("load_trace: truncated script payload");
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+void save_trace_file(const std::string& path,
+                     const std::vector<JobRecord>& jobs) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_trace_file: cannot open " + path);
+  save_trace(os, jobs);
+}
+
+std::vector<JobRecord> load_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_trace_file: cannot open " + path);
+  return load_trace(is);
+}
+
+}  // namespace prionn::trace

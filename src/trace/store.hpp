@@ -1,0 +1,22 @@
+// Plain-text trace persistence. The format is a line-oriented header per
+// job followed by the raw script payload (length-prefixed), so traces can
+// be inspected with a pager and diffed. Used by the examples and by tests
+// that round-trip generated workloads.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/job_record.hpp"
+
+namespace prionn::trace {
+
+void save_trace(std::ostream& os, const std::vector<JobRecord>& jobs);
+std::vector<JobRecord> load_trace(std::istream& is);
+
+void save_trace_file(const std::string& path,
+                     const std::vector<JobRecord>& jobs);
+std::vector<JobRecord> load_trace_file(const std::string& path);
+
+}  // namespace prionn::trace

@@ -1,0 +1,183 @@
+#include "trace/swf.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "trace/app_catalog.hpp"
+#include "util/string_util.hpp"
+
+namespace prionn::trace {
+
+namespace {
+
+long long parse_ll(std::string_view field) noexcept {
+  long long v = -1;
+  const auto t = util::trim(field);
+  std::from_chars(t.data(), t.data() + t.size(), v);
+  return v;
+}
+
+double parse_d(std::string_view field) noexcept {
+  double v = -1.0;
+  const auto t = util::trim(field);
+  std::from_chars(t.data(), t.data() + t.size(), v);
+  return v;
+}
+
+/// Split an SWF line into whitespace-separated fields.
+std::vector<std::string_view> fields_of(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+}  // namespace
+
+void save_swf(std::ostream& os, const std::vector<JobRecord>& jobs,
+              const SwfOptions& options) {
+  std::unordered_map<std::string, int> user_ids, group_ids, app_ids;
+  const auto id_of = [](std::unordered_map<std::string, int>& table,
+                        const std::string& key) {
+    return table.try_emplace(key, static_cast<int>(table.size()) + 1)
+        .first->second;
+  };
+
+  os << "; SWF export from the PRIONN reproduction\n";
+  os << "; MaxNodes: 1296\n; Note: scripts/IO fields are not representable "
+        "in SWF\n";
+  for (const auto& j : jobs) {
+    const long long wait =
+        j.canceled ? -1
+                   : static_cast<long long>(
+                         std::max(0.0, j.start_time - j.submit_time));
+    const long long runtime =
+        j.canceled ? -1
+                   : static_cast<long long>(j.runtime_minutes * 60.0);
+    const auto procs =
+        static_cast<long long>(j.requested_tasks ? j.requested_tasks
+                                                 : j.requested_nodes *
+                                                       options.cores_per_node);
+    os << j.job_id << ' '                                      // 1
+       << static_cast<long long>(j.submit_time) << ' '         // 2
+       << wait << ' '                                          // 3
+       << runtime << ' '                                       // 4
+       << (j.canceled ? -1 : procs) << ' '                     // 5
+       << -1 << ' ' << -1 << ' '                               // 6, 7
+       << procs << ' '                                         // 8
+       << static_cast<long long>(j.requested_minutes * 60.0) << ' '  // 9
+       << -1 << ' '                                            // 10
+       << (j.canceled ? 5 : 1) << ' '                          // 11 status
+       << id_of(user_ids, j.user) << ' '                       // 12
+       << id_of(group_ids, j.group) << ' '                     // 13
+       << id_of(app_ids, j.job_name) << ' '                    // 14
+       << 1 << ' ' << 1 << ' ' << -1 << ' ' << -1 << '\n';     // 15-18
+  }
+}
+
+std::vector<JobRecord> load_swf(std::istream& is,
+                                const SwfOptions& options) {
+  const auto& catalog = default_catalog();
+  util::Rng rng(options.seed);
+  std::vector<JobRecord> jobs;
+  // Per (user, app) reconstructed configs so resubmissions of the same
+  // SWF app by the same user reproduce identical scripts, like real
+  // workloads do.
+  std::unordered_map<long long, JobConfig> config_cache;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    const auto f = fields_of(trimmed);
+    if (f.size() < 11)
+      throw std::runtime_error("load_swf: malformed line: " + line);
+
+    JobRecord j;
+    j.job_id = static_cast<std::uint64_t>(std::max(0LL, parse_ll(f[0])));
+    j.submit_time = std::max(0.0, parse_d(f[1]));
+    const double wait = parse_d(f[2]);
+    const double runtime = parse_d(f[3]);
+    const long long req_procs =
+        f.size() > 7 ? parse_ll(f[7]) : parse_ll(f[4]);
+    const double req_seconds = f.size() > 8 ? parse_d(f[8]) : -1.0;
+    const long long status = parse_ll(f[10]);
+    const long long user_id = f.size() > 11 ? parse_ll(f[11]) : -1;
+    const long long group_id = f.size() > 12 ? parse_ll(f[12]) : -1;
+    const long long app_id = f.size() > 13 ? parse_ll(f[13]) : -1;
+
+    j.canceled = status == 5 || runtime < 0.0;
+    j.runtime_minutes =
+        j.canceled ? 0.0 : std::clamp(runtime / 60.0, 1.0, 960.0);
+    j.requested_minutes =
+        req_seconds > 0.0 ? req_seconds / 60.0
+                          : std::max(15.0, j.runtime_minutes * 2.0);
+    const long long procs = std::max(1LL, req_procs);
+    j.requested_tasks = static_cast<std::uint32_t>(procs);
+    j.requested_nodes = static_cast<std::uint32_t>(
+        (procs + options.cores_per_node - 1) / options.cores_per_node);
+    j.user = "user" + std::to_string(std::max(0LL, user_id));
+    j.group = "g" + std::to_string(std::max(0LL, group_id));
+    j.start_time = j.submit_time + std::max(0.0, wait);
+    j.end_time = j.start_time + j.runtime_minutes * 60.0;
+
+    if (options.synthesize_scripts) {
+      // Stable app-keyed script reconstruction: SWF has no script text, so
+      // give each (user, app) pair a deterministic catalogue config whose
+      // requested resources are overridden by the SWF numbers.
+      const long long key = user_id * 100000 + app_id;
+      auto it = config_cache.find(key);
+      if (it == config_cache.end()) {
+        const auto family = static_cast<std::size_t>(
+            std::max(0LL, app_id)) % catalog.size();
+        it = config_cache.emplace(key, sample_config(catalog, family, rng))
+                 .first;
+      }
+      JobConfig config = it->second;
+      config.nodes = std::max<std::uint32_t>(1, j.requested_nodes);
+      config.tasks = j.requested_tasks;
+      config.requested_minutes = static_cast<std::uint32_t>(
+          std::clamp(j.requested_minutes, 1.0, 960.0));
+      const auto& fam = catalog[config.family];
+      j.account = fam.account;
+      j.job_name = fam.name + "_s" + std::to_string(config.size);
+      j.submission_dir = "/g/" + j.group + "/" + j.user + "/runs/" + fam.name;
+      j.working_dir = "/p/lscratchd/" + j.user + "/" + fam.name + "/s" +
+                      std::to_string(config.size);
+      j.script = render_script(catalog, config, j.user, j.group);
+    }
+    jobs.push_back(std::move(j));
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.submit_time < b.submit_time;
+            });
+  return jobs;
+}
+
+void save_swf_file(const std::string& path,
+                   const std::vector<JobRecord>& jobs,
+                   const SwfOptions& options) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_swf_file: cannot open " + path);
+  save_swf(os, jobs, options);
+}
+
+std::vector<JobRecord> load_swf_file(const std::string& path,
+                                     const SwfOptions& options) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_swf_file: cannot open " + path);
+  return load_swf(is, options);
+}
+
+}  // namespace prionn::trace

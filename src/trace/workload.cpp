@@ -1,0 +1,184 @@
+#include "trace/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+namespace prionn::trace {
+
+WorkloadOptions WorkloadOptions::cab(std::size_t jobs, std::uint64_t seed) {
+  WorkloadOptions o;
+  o.jobs = jobs;
+  o.seed = seed;
+  // Scale the population with the trace so tiny test traces still see
+  // script reuse: Cab had 492 users for 295k jobs.
+  o.users = std::clamp<std::size_t>(jobs / 600, 8, 492);
+  return o;
+}
+
+WorkloadOptions WorkloadOptions::sdsc95(std::size_t jobs,
+                                        std::uint64_t seed) {
+  WorkloadOptions o;
+  o.jobs = jobs;
+  o.seed = seed;
+  o.users = std::clamp<std::size_t>(jobs / 800, 8, 98);
+  o.jobs_per_day = 250.0;
+  o.repeat_probability = 0.5;
+  o.cancel_fraction = 0.0;  // the published SDSC traces are completed jobs
+  o.catalog = &sdsc_catalog();
+  return o;
+}
+
+WorkloadOptions WorkloadOptions::sdsc96(std::size_t jobs,
+                                        std::uint64_t seed) {
+  WorkloadOptions o = sdsc95(jobs, seed);
+  o.jobs_per_day = 120.0;
+  o.repeat_probability = 0.35;  // more heterogeneous year: harder to predict
+  return o;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(options),
+      catalog_(options.catalog ? options.catalog : &default_catalog()) {
+  if (options_.jobs == 0)
+    throw std::invalid_argument("WorkloadGenerator: jobs must be > 0");
+  if (options_.users == 0)
+    throw std::invalid_argument("WorkloadGenerator: users must be > 0");
+  if (catalog_->empty())
+    throw std::invalid_argument("WorkloadGenerator: empty catalog");
+}
+
+namespace {
+
+struct UserProfile {
+  std::string name;
+  std::string group;
+  std::vector<std::size_t> families;      // preferred app families
+  std::vector<JobConfig> config_history;  // configs available for reuse
+};
+
+/// Diurnal arrival-rate multiplier: quiet nights, busy afternoons.
+double diurnal_factor(double t_seconds) noexcept {
+  const double hour = std::fmod(t_seconds / 3600.0, 24.0);
+  // Peak around 15:00, trough around 03:00; never fully idle.
+  return 0.55 + 0.45 * std::sin((hour - 9.0) / 24.0 * 2.0 *
+                                std::numbers::pi);
+}
+
+}  // namespace
+
+std::vector<JobRecord> WorkloadGenerator::generate() {
+  util::Rng rng(options_.seed);
+  const auto& catalog = *catalog_;
+
+  // --- Build the user population. -----------------------------------
+  std::vector<UserProfile> users(options_.users);
+  const util::ZipfSampler family_popularity(catalog.size(), 1.0);
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "user%03zu", u);
+    users[u].name = buf;
+    std::snprintf(buf, sizeof(buf), "g%02lld",
+                  static_cast<long long>(rng.uniform_int(
+                      0, static_cast<std::int64_t>(options_.groups) - 1)));
+    users[u].group = buf;
+    std::unordered_set<std::size_t> chosen;
+    while (chosen.size() <
+           std::min(options_.families_per_user, catalog.size()))
+      chosen.insert(family_popularity(rng));
+    users[u].families.assign(chosen.begin(), chosen.end());
+  }
+  const util::ZipfSampler user_activity(users.size(), options_.user_zipf);
+
+  // --- Stream of submissions. ----------------------------------------
+  const double base_rate = options_.jobs_per_day / 86400.0;  // jobs per sec
+  std::vector<JobRecord> jobs;
+  jobs.reserve(options_.jobs);
+  double t = 0.0;
+  for (std::size_t j = 0; j < options_.jobs; ++j) {
+    t += rng.exponential(base_rate * diurnal_factor(t));
+    UserProfile& user = users[user_activity(rng)];
+
+    // Reuse an old config (identical script) or draw a new one.
+    JobConfig config;
+    if (!user.config_history.empty() &&
+        rng.bernoulli(options_.repeat_probability)) {
+      config = user.config_history[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(user.config_history.size()) - 1))];
+    } else {
+      const std::size_t family = user.families[static_cast<std::size_t>(
+          rng.uniform_int(0,
+                          static_cast<std::int64_t>(user.families.size()) - 1))];
+      config = sample_config(catalog, family, rng);
+      user.config_history.push_back(config);
+      // Users cycle through a bounded working set of scripts.
+      if (user.config_history.size() > 12)
+        user.config_history.erase(user.config_history.begin());
+    }
+    const AppFamily& fam = catalog[config.family];
+
+    JobRecord job;
+    job.job_id = j + 1;
+    job.user = user.name;
+    job.group = user.group;
+    job.account = fam.account;
+    job.job_name = fam.name + "_s" + std::to_string(config.size);
+    job.submission_dir =
+        "/g/" + user.group + "/" + user.name + "/runs/" + fam.name;
+    job.working_dir = "/p/lscratchd/" + user.name + "/" + fam.name + "/s" +
+                      std::to_string(config.size);
+    job.script = render_script(catalog, config, user.name, user.group);
+    job.submit_time = t;
+    job.requested_minutes = static_cast<double>(config.requested_minutes);
+    job.requested_nodes = config.nodes;
+    job.requested_tasks = config.tasks;
+
+    if (rng.uniform() < options_.cancel_fraction) {
+      job.canceled = true;
+      job.start_time = job.end_time = t;
+      jobs.push_back(std::move(job));
+      continue;
+    }
+
+    // Ground truth: the script's nominal resource model plus noise,
+    // runtimes rounded to whole minutes (the paper predicts runtime to
+    // one-minute resolution and caps it at 16 h).
+    const double noisy_minutes =
+        fam.nominal_minutes(config) *
+        rng.lognormal(0.0, fam.runtime_noise_sigma);
+    job.runtime_minutes =
+        std::clamp(std::round(noisy_minutes), 1.0, 960.0);
+    job.bytes_read = fam.nominal_read_bytes(config) *
+                     rng.lognormal(0.0, fam.io_noise_sigma);
+    job.bytes_written = fam.nominal_write_bytes(config) *
+                        rng.lognormal(0.0, fam.io_noise_sigma);
+
+    // Nominal queue wait on the original machine (the scheduler simulator
+    // recomputes its own schedule from submit times).
+    const double wait = rng.exponential(1.0 / 600.0);
+    job.start_time = t + wait;
+    job.end_time = job.start_time + job.runtime_minutes * 60.0;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<JobRecord> completed_jobs(const std::vector<JobRecord>& jobs) {
+  std::vector<JobRecord> out;
+  out.reserve(jobs.size());
+  for (const auto& j : jobs)
+    if (!j.canceled) out.push_back(j);
+  return out;
+}
+
+std::size_t unique_script_count(const std::vector<JobRecord>& jobs) {
+  std::unordered_set<std::string> scripts;
+  for (const auto& j : jobs) scripts.insert(j.script);
+  return scripts.size();
+}
+
+}  // namespace prionn::trace

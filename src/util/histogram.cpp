@@ -1,0 +1,88 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace prionn::util {
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  if (!(lo < hi) || bins == 0)
+    throw std::invalid_argument("Histogram::linear: need lo < hi, bins > 0");
+  Histogram h;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  h.counts_.assign(bins, 0);
+  return h;
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  if (!(0.0 < lo && lo < hi) || bins == 0)
+    throw std::invalid_argument(
+        "Histogram::logarithmic: need 0 < lo < hi, bins > 0");
+  Histogram h;
+  h.log_scale_ = true;
+  h.lo_ = lo;
+  h.hi_ = hi;
+  h.log_lo_ = std::log(lo);
+  h.log_hi_ = std::log(hi);
+  h.counts_.assign(bins, 0);
+  return h;
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  double t;
+  if (log_scale_) {
+    const double clamped = std::max(x, lo_);
+    t = (std::log(clamped) - log_lo_) / (log_hi_ - log_lo_);
+  } else {
+    t = (x - lo_) / (hi_ - lo_);
+  }
+  const auto n = static_cast<double>(counts_.size());
+  const double idx = std::floor(t * n);
+  if (idx < 0.0) return 0;
+  if (idx >= n) return counts_.size() - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (log_scale_ ? x < lo_ : x < lo_) ++underflow_;
+  if (x >= hi_) ++overflow_;
+  ++counts_[bin_of(x)];
+}
+
+void Histogram::add(std::span<const double> xs) noexcept {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  const double t = static_cast<double>(bin) / static_cast<double>(counts_.size());
+  return log_scale_ ? std::exp(log_lo_ + t * (log_hi_ - log_lo_))
+                    : lo_ + t * (hi_ - lo_);
+}
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+double Histogram::bin_center(std::size_t bin) const {
+  return log_scale_ ? std::sqrt(bin_low(bin) * bin_high(bin))
+                    : 0.5 * (bin_low(bin) + bin_high(bin));
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  os.precision(3);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    os << "[" << std::scientific << bin_low(i) << ", " << bin_high(i)
+       << ") " << std::string(width, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace prionn::util

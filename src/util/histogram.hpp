@@ -1,0 +1,48 @@
+// Fixed-width and logarithmic histograms. Used by the trace statistics
+// (runtime / bandwidth distributions of Figs. 8a, 9a, 11a, 12a, 14a) and by
+// the IO-bin quantisation of PRIONN's IO heads.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prionn::util {
+
+class Histogram {
+ public:
+  /// Linear histogram over [lo, hi) with `bins` equal-width buckets.
+  static Histogram linear(double lo, double hi, std::size_t bins);
+  /// Logarithmic histogram over [lo, hi) (lo > 0) with geometric buckets.
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add(std::span<const double> xs) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+
+  /// Index of the bucket that would receive x; clamps to the edge buckets.
+  std::size_t bin_of(double x) const noexcept;
+  /// Representative value (geometric/arithmetic centre) of a bucket.
+  double bin_center(std::size_t bin) const;
+  double bin_low(std::size_t bin) const;
+  double bin_high(std::size_t bin) const;
+
+  /// ASCII rendering for bench output: one row per bucket with a bar.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  Histogram() = default;
+  bool log_scale_ = false;
+  double lo_ = 0.0, hi_ = 1.0;
+  double log_lo_ = 0.0, log_hi_ = 1.0;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace prionn::util

@@ -1,0 +1,85 @@
+// Deterministic, seedable random number generation for every stochastic
+// component in the library (workload synthesis, weight init, sampling).
+//
+// We ship our own xoshiro256++ generator instead of std::mt19937 because
+// (a) results must be bit-reproducible across standard libraries, and
+// (b) the workload generator draws billions of variates when synthesising
+// large traces, where xoshiro is measurably faster.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace prionn::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Public because tests and child-seed derivation use it directly.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ by Blackman & Vigna. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Derive an independent child generator; `stream` distinguishes children
+  /// derived from the same parent state.
+  Rng child(std::uint64_t stream) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+  /// Lognormal: exp(Normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+  /// Exponential with rate lambda (> 0).
+  double exponential(double lambda) noexcept;
+  /// Poisson-distributed count with the given mean (>= 0).
+  std::uint64_t poisson(double mean) noexcept;
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample an index from unnormalised non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// Zipf(s) sampler over {0, .., n-1} using precomputed CDF; models the
+/// heavy-tailed popularity of users/applications in HPC traces.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent);
+  std::size_t operator()(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace prionn::util

@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace prionn::util {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  return std::sqrt(variance(xs));
+}
+
+double min_of(std::span<const double> xs) noexcept {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const double x : xs) lo = std::min(lo, x);
+  return lo;
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double x : xs) hi = std::max(hi, x);
+  return hi;
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double mean_absolute_error(std::span<const double> truth,
+                           std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  if (truth.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    acc += std::abs(truth[i] - pred[i]);
+  return acc / static_cast<double>(truth.size());
+}
+
+BoxplotSummary boxplot_summary(std::span<const double> xs) {
+  BoxplotSummary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto q_of = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.q1 = q_of(0.25);
+  s.median = q_of(0.5);
+  s.q3 = q_of(0.75);
+  const double iqr = s.q3 - s.q1;
+  s.whisker_low = std::max(sorted.front(), s.q1 - 1.5 * iqr);
+  s.whisker_high = std::min(sorted.back(), s.q3 + 1.5 * iqr);
+  s.mean = mean(xs);
+  return s;
+}
+
+std::string format_boxplot(const BoxplotSummary& s) {
+  std::ostringstream os;
+  os.precision(4);
+  os << "mean=" << s.mean << " med=" << s.median << " q1=" << s.q1
+     << " q3=" << s.q3 << " wlo=" << s.whisker_low
+     << " whi=" << s.whisker_high << " n=" << s.count;
+  return os.str();
+}
+
+double relative_accuracy(double truth, double pred) noexcept {
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double denom = std::max(truth, pred) + eps;
+  return 1.0 - std::abs(truth - pred) / denom;
+}
+
+std::vector<double> relative_accuracies(std::span<const double> truth,
+                                        std::span<const double> pred) {
+  assert(truth.size() == pred.size());
+  std::vector<double> out(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    out[i] = relative_accuracy(truth[i], pred[i]);
+  return out;
+}
+
+}  // namespace prionn::util

@@ -1,0 +1,53 @@
+// Descriptive statistics used by every evaluation in the paper:
+// means/medians of relative accuracy, boxplot five-number summaries for the
+// accuracy figures, and MAE for the Table 2 replication.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace prionn::util {
+
+double mean(std::span<const double> xs) noexcept;
+double variance(std::span<const double> xs) noexcept;  // population variance
+double stddev(std::span<const double> xs) noexcept;
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolation quantile (same convention as numpy's default).
+/// q in [0, 1]. Copies and sorts internally.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+/// Mean absolute error between matching spans.
+double mean_absolute_error(std::span<const double> truth,
+                           std::span<const double> pred);
+
+/// Five-number summary + mean, the data behind every boxplot figure.
+struct BoxplotSummary {
+  double whisker_low = 0.0;   // Q1 - 1.5 IQR clamped to min
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_high = 0.0;  // Q3 + 1.5 IQR clamped to max
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+BoxplotSummary boxplot_summary(std::span<const double> xs);
+
+/// Render a one-line summary ("mean=.. med=.. [q1,q3]=..") for bench tables.
+std::string format_boxplot(const BoxplotSummary& s);
+
+/// Relative accuracy per Eq. (1) of the paper:
+///   1 - |true - pred| / (max(true, pred) + eps)
+/// Range [0, 1]; under-prediction is penalised more than over-prediction.
+double relative_accuracy(double truth, double pred) noexcept;
+
+/// Element-wise relative accuracy over two spans of equal length.
+std::vector<double> relative_accuracies(std::span<const double> truth,
+                                        std::span<const double> pred);
+
+}  // namespace prionn::util

@@ -1,0 +1,28 @@
+// Small string helpers shared by the script parser and workload generator.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prionn::util {
+
+/// Split on a delimiter; keeps empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split a script into lines; both "\n" and "\r\n" terminators accepted.
+std::vector<std::string> split_lines(std::string_view text);
+
+std::string_view trim(std::string_view text) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace prionn::util

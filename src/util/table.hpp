@@ -1,0 +1,34 @@
+// Console table / CSV writers shared by the bench harness so every
+// reproduced figure prints in a uniform "paper says X / we measured Y"
+// format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prionn::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with fixed precision.
+  void add_row_values(const std::vector<double>& values, int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Pretty-print with column alignment.
+  std::string to_string() const;
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `precision` significant decimal places.
+std::string fmt(double value, int precision = 4);
+
+}  // namespace prionn::util

@@ -1,0 +1,105 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace prionn::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  workers_.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(std::size_t chunk_id) {
+  const std::size_t total = task_.end - task_.begin;
+  const std::size_t per = total / task_.chunks;
+  const std::size_t extra = total % task_.chunks;
+  // First `extra` chunks take one extra iteration so the partition is exact.
+  const std::size_t lo =
+      task_.begin + chunk_id * per + std::min(chunk_id, extra);
+  const std::size_t hi = lo + per + (chunk_id < extra ? 1 : 0);
+  if (lo >= hi) return;
+  try {
+    (*task_.body)(lo, hi);
+  } catch (...) {
+    std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t worker_id) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    if (worker_id < task_.chunks) run_chunk(worker_id);
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t chunks = std::min(total, size());
+  if (chunks <= 1 || workers_.empty()) {
+    fn(begin, end);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    task_ = Task{&fn, begin, end, chunks};
+    first_error_ = nullptr;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  // Worker ids are 1..workers_.size() and each runs chunk == id when
+  // id < chunks; the calling thread always takes chunk 0, so with
+  // chunks <= workers + 1 the partition is exact and disjoint.
+  run_chunk(0);
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(begin, end, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace prionn::util

@@ -1,0 +1,69 @@
+// Work-sharing thread pool used for data-parallel loops (GEMM tiles,
+// per-sample gradient computation, forest fitting). The pool follows the
+// OpenMP "parallel for" model: a static partition of the index range over a
+// fixed set of workers, which is the right shape for the regular,
+// equal-cost iterations that dominate this library.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prionn::util {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size() + 1; }
+
+  /// Run fn(begin..end) partitioned across the pool (including the calling
+  /// thread). Blocks until every iteration has completed. `fn` receives
+  /// (index). Exceptions thrown by fn propagate to the caller (first one).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) per worker — lets the body
+  /// keep per-chunk scratch state without false sharing.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool sized to the machine; lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t chunks = 0;
+  };
+
+  void worker_loop(std::size_t worker_id);
+  void run_chunk(std::size_t chunk_id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Task task_;
+  std::size_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace prionn::util

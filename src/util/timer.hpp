@@ -1,0 +1,24 @@
+// Wall-clock timing for the paper's cost figures (Figs. 3, 4, 6).
+#pragma once
+
+#include <chrono>
+
+namespace prionn::util {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double milliseconds() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace prionn::util

@@ -1,0 +1,229 @@
+// Tests for the character-level word2vec substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "embed/char_vocab.hpp"
+#include "embed/word2vec.hpp"
+
+namespace e = prionn::embed;
+
+TEST(CharVocab, AsciiIdentity) {
+  EXPECT_EQ(e::CharVocab::token('A'), 65u);
+  EXPECT_EQ(e::CharVocab::token(' '), 32u);
+  EXPECT_EQ(e::CharVocab::token('\n'), 10u);
+}
+
+TEST(CharVocab, NonAsciiMapsToZero) {
+  EXPECT_EQ(e::CharVocab::token(static_cast<char>(0xC3)), 0u);
+}
+
+TEST(CharVocab, Tokenize) {
+  const auto toks = e::CharVocab::tokenize("ab");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], 97u);
+  EXPECT_EQ(toks[1], 98u);
+}
+
+TEST(CharVocab, CountFrequencies) {
+  const std::vector<std::vector<std::size_t>> corpus = {{97, 97, 98}, {97}};
+  const auto counts = e::CharVocab::count_frequencies(corpus);
+  EXPECT_EQ(counts[97], 3u);
+  EXPECT_EQ(counts[98], 1u);
+  EXPECT_EQ(counts[99], 0u);
+}
+
+TEST(CharEmbedding, RejectsWrongTableSize) {
+  EXPECT_THROW(e::CharEmbedding(4, std::vector<float>(10)),
+               std::invalid_argument);
+}
+
+TEST(CharEmbedding, VectorLookup) {
+  std::vector<float> table(e::CharVocab::kSize * 2, 0.0f);
+  table[97 * 2] = 1.0f;
+  table[97 * 2 + 1] = 2.0f;
+  const e::CharEmbedding emb(2, std::move(table));
+  const auto v = emb.vector_of('a');
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 1.0f);
+  EXPECT_EQ(v[1], 2.0f);
+}
+
+TEST(CharEmbedding, SaveLoadRoundTrip) {
+  std::vector<float> table(e::CharVocab::kSize * 3);
+  for (std::size_t i = 0; i < table.size(); ++i)
+    table[i] = static_cast<float>(i) * 0.25f;
+  const e::CharEmbedding emb(3, table);
+  std::stringstream ss;
+  emb.save(ss);
+  const auto loaded = e::CharEmbedding::load(ss);
+  EXPECT_EQ(loaded.dimension(), 3u);
+  for (std::size_t t = 0; t < e::CharVocab::kSize; ++t) {
+    const auto a = emb.vector(t), b = loaded.vector(t);
+    for (std::size_t d = 0; d < 3; ++d) EXPECT_EQ(a[d], b[d]);
+  }
+}
+
+TEST(CharEmbedding, LoadRejectsGarbage) {
+  std::stringstream ss("junk");
+  EXPECT_THROW(e::CharEmbedding::load(ss), std::runtime_error);
+}
+
+namespace {
+
+/// Synthetic corpus where digits always appear between the same delimiters
+/// and letters in a different context — word2vec should group digits
+/// together.
+std::vector<std::string> contextual_corpus() {
+  std::vector<std::string> corpus;
+  for (int rep = 0; rep < 60; ++rep) {
+    for (char d = '0'; d <= '9'; ++d)
+      corpus.push_back(std::string("=") + d + ";" + "=" + d + ";" + "=" + d +
+                       ";");
+    for (char c = 'a'; c <= 'j'; ++c)
+      corpus.push_back(std::string(" ") + c + "_" + " " + c + "_" + " " + c +
+                       "_");
+  }
+  return corpus;
+}
+
+}  // namespace
+
+TEST(Word2Vec, TrainsAndProducesFiniteVectors) {
+  e::Word2VecOptions opts;
+  opts.dimension = 4;
+  opts.epochs = 1;
+  e::Word2VecTrainer trainer(opts);
+  const auto emb = trainer.train(contextual_corpus());
+  EXPECT_EQ(emb.dimension(), 4u);
+  for (std::size_t t = 0; t < e::CharVocab::kSize; ++t)
+    for (const float v : emb.vector(t)) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Word2Vec, SimilarContextsYieldSimilarVectors) {
+  e::Word2VecOptions opts;
+  opts.dimension = 8;
+  opts.epochs = 6;
+  opts.seed = 5;
+  e::Word2VecTrainer trainer(opts);
+  const auto emb = trainer.train(contextual_corpus());
+  // Digits share contexts with digits; letters with letters. Averaged
+  // within-group similarity should exceed the cross-group similarity.
+  double within = 0.0, across = 0.0;
+  int wn = 0, an = 0;
+  for (char a = '0'; a <= '9'; ++a)
+    for (char b = '0'; b <= '9'; ++b)
+      if (a != b) {
+        within += emb.similarity(a, b);
+        ++wn;
+      }
+  for (char a = '0'; a <= '9'; ++a)
+    for (char b = 'a'; b <= 'j'; ++b) {
+      across += emb.similarity(a, b);
+      ++an;
+    }
+  EXPECT_GT(within / wn, across / an);
+}
+
+TEST(Word2Vec, DeterministicForSeed) {
+  e::Word2VecOptions opts;
+  opts.dimension = 4;
+  opts.epochs = 1;
+  opts.seed = 17;
+  const auto corpus = contextual_corpus();
+  const auto a = e::Word2VecTrainer(opts).train(corpus);
+  const auto b = e::Word2VecTrainer(opts).train(corpus);
+  for (std::size_t t = 0; t < e::CharVocab::kSize; ++t) {
+    const auto va = a.vector(t), vb = b.vector(t);
+    for (std::size_t d = 0; d < 4; ++d) ASSERT_EQ(va[d], vb[d]);
+  }
+}
+
+TEST(Word2Vec, DifferentSeedsDiffer) {
+  e::Word2VecOptions a_opts, b_opts;
+  a_opts.epochs = b_opts.epochs = 1;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  const auto corpus = contextual_corpus();
+  const auto a = e::Word2VecTrainer(a_opts).train(corpus);
+  const auto b = e::Word2VecTrainer(b_opts).train(corpus);
+  bool any_diff = false;
+  for (std::size_t t = 0; t < e::CharVocab::kSize && !any_diff; ++t) {
+    const auto va = a.vector(t), vb = b.vector(t);
+    for (std::size_t d = 0; d < va.size(); ++d)
+      if (va[d] != vb[d]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Word2Vec, EmptyCorpusYieldsEmbedding) {
+  e::Word2VecTrainer trainer;
+  const auto emb = trainer.train(std::vector<std::string>{});
+  EXPECT_EQ(emb.dimension(), 4u);  // defaults still hold
+}
+
+TEST(Word2Vec, RejectsInvalidOptions) {
+  e::Word2VecOptions zero_dim;
+  zero_dim.dimension = 0;
+  EXPECT_THROW(e::Word2VecTrainer{zero_dim}, std::invalid_argument);
+  e::Word2VecOptions zero_window;
+  zero_window.window = 0;
+  EXPECT_THROW(e::Word2VecTrainer{zero_window}, std::invalid_argument);
+}
+
+TEST(Word2Vec, CbowAlsoGroupsSimilarContexts) {
+  e::Word2VecOptions opts;
+  opts.algorithm = e::Word2VecAlgorithm::kCbow;
+  opts.dimension = 8;
+  opts.epochs = 6;
+  opts.seed = 5;
+  const auto emb = e::Word2VecTrainer(opts).train(contextual_corpus());
+  double within = 0.0, across = 0.0;
+  int wn = 0, an = 0;
+  for (char a = '0'; a <= '9'; ++a)
+    for (char b = '0'; b <= '9'; ++b)
+      if (a != b) {
+        within += emb.similarity(a, b);
+        ++wn;
+      }
+  for (char a = '0'; a <= '9'; ++a)
+    for (char b = 'a'; b <= 'j'; ++b) {
+      across += emb.similarity(a, b);
+      ++an;
+    }
+  EXPECT_GT(within / wn, across / an);
+}
+
+TEST(Word2Vec, CbowAndSkipGramProduceDifferentEmbeddings) {
+  e::Word2VecOptions sg, cb;
+  sg.epochs = cb.epochs = 1;
+  cb.algorithm = e::Word2VecAlgorithm::kCbow;
+  const auto corpus = contextual_corpus();
+  const auto a = e::Word2VecTrainer(sg).train(corpus);
+  const auto b = e::Word2VecTrainer(cb).train(corpus);
+  bool any_diff = false;
+  for (std::size_t t = 0; t < e::CharVocab::kSize && !any_diff; ++t) {
+    const auto va = a.vector(t), vb = b.vector(t);
+    for (std::size_t d = 0; d < va.size(); ++d)
+      if (va[d] != vb[d]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+class Word2VecDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Word2VecDims, OutputDimensionMatches) {
+  e::Word2VecOptions opts;
+  opts.dimension = GetParam();
+  opts.epochs = 1;
+  const auto emb = e::Word2VecTrainer(opts).train(
+      std::vector<std::string>{"hello world", "goodbye world"});
+  EXPECT_EQ(emb.dimension(), GetParam());
+}
+
+// The paper evaluates output vector sizes 4 and 8.
+INSTANTIATE_TEST_SUITE_P(PaperSizes, Word2VecDims,
+                         ::testing::Values(2u, 4u, 8u, 16u));

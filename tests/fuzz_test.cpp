@@ -1,0 +1,168 @@
+// Robustness tests: the text-facing components (script parser, image
+// mapper, trace/SWF loaders) must handle arbitrary and adversarial input
+// without crashing — scripts on production systems contain anything.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "core/script_image.hpp"
+#include "trace/features.hpp"
+#include "trace/store.hpp"
+#include "trace/swf.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+std::string random_bytes(std::size_t n, std::uint64_t seed) {
+  prionn::util::Rng rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s)
+    c = static_cast<char>(rng.uniform_int(0, 255));
+  return s;
+}
+
+std::string random_scriptish(std::size_t lines, std::uint64_t seed) {
+  prionn::util::Rng rng(seed);
+  static const char* fragments[] = {
+      "#SBATCH --time=",       "#SBATCH --nodes",  "#SBATCH",
+      "srun -N ",              "cd /tmp/",         "# submitted from ",
+      "--time",                "=",                ":::",
+      "#SBATCH --mail-user=@", "\t \t",            "12:34:56:78",
+      "#SBATCH --ntasks-per-node=x",
+  };
+  std::string s;
+  for (std::size_t l = 0; l < lines; ++l) {
+    const int pieces = static_cast<int>(rng.uniform_int(0, 4));
+    for (int p = 0; p < pieces; ++p) {
+      s += fragments[rng.uniform_int(0, std::size(fragments) - 1)];
+      s += std::to_string(rng.uniform_int(-100, 100000));
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashParser) {
+  const auto text = random_bytes(2048, GetParam());
+  const auto f = prionn::trace::parse_script(text);
+  // Whatever came out must be structurally sane.
+  EXPECT_GE(f.requested_nodes, 0.0);
+  EXPECT_TRUE(std::isfinite(f.requested_hours));
+}
+
+TEST_P(ParserFuzz, ScriptLikeGarbageNeverCrashParser) {
+  const auto text = random_scriptish(80, GetParam());
+  const auto f = prionn::trace::parse_script(text);
+  EXPECT_TRUE(std::isfinite(f.requested_tasks));
+}
+
+TEST_P(ParserFuzz, MapperHandlesArbitraryBytes) {
+  prionn::core::ScriptImageOptions opts;
+  opts.rows = opts.cols = 16;
+  for (const auto transform :
+       {prionn::core::Transform::kBinary, prionn::core::Transform::kSimple,
+        prionn::core::Transform::kOneHot}) {
+    opts.transform = transform;
+    const prionn::core::ScriptImageMapper mapper(opts);
+    const auto img = mapper.map_2d(random_bytes(4096, GetParam()));
+    for (std::size_t i = 0; i < img.size(); ++i)
+      ASSERT_TRUE(std::isfinite(img[i]));
+  }
+}
+
+TEST_P(ParserFuzz, TraceLoaderRejectsGarbageGracefully) {
+  std::stringstream ss(random_bytes(512, GetParam()));
+  EXPECT_THROW(prionn::trace::load_trace(ss), std::runtime_error);
+}
+
+TEST_P(ParserFuzz, SwfLoaderHandlesNumericNoise) {
+  // Lines of random numbers in roughly SWF shape must either parse into
+  // sane records or throw; never crash or produce NaNs.
+  prionn::util::Rng rng(GetParam());
+  std::stringstream ss;
+  for (int line = 0; line < 30; ++line) {
+    for (int f = 0; f < 18; ++f)
+      ss << rng.uniform_int(-5, 100000) << ' ';
+    ss << '\n';
+  }
+  try {
+    const auto jobs = prionn::trace::load_swf(ss);
+    for (const auto& j : jobs) {
+      EXPECT_TRUE(std::isfinite(j.runtime_minutes));
+      EXPECT_GE(j.runtime_minutes, 0.0);
+      EXPECT_LE(j.runtime_minutes, 960.0);
+      EXPECT_GE(j.requested_nodes, 1u);
+    }
+  } catch (const std::runtime_error&) {
+    // Acceptable outcome for malformed input.
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u));
+
+// Hand-picked adversarial script fragments.
+TEST(ParserAdversarial, DegenerateSbatchLines) {
+  const char* cases[] = {
+      "#SBATCH\n",
+      "#SBATCH --time\n",
+      "#SBATCH --time=\n",
+      "#SBATCH --time=::\n",
+      "#SBATCH --time=-5:00:00\n",
+      "#SBATCH --nodes=999999999999999999999\n",
+      "#SBATCH --nodes=NaN\n",
+      "#SBATCH --mail-user=\n",
+      "cd\n",
+      "cd \n",
+      "# submitted from\n",
+      "\r\n\r\n\r\n",
+      "#SBATCH --time=1:2:3:4:5\n",
+  };
+  for (const char* text : cases) {
+    const auto f = prionn::trace::parse_script(text);
+    EXPECT_TRUE(std::isfinite(f.requested_hours)) << text;
+    EXPECT_TRUE(std::isfinite(f.requested_nodes)) << text;
+  }
+}
+
+TEST(ParserAdversarial, EnormousSingleLine) {
+  std::string huge = "#SBATCH --job-name=";
+  huge += std::string(1 << 20, 'x');
+  huge += '\n';
+  const auto f = prionn::trace::parse_script(huge);
+  EXPECT_FALSE(f.job_name.empty());
+
+  prionn::core::ScriptImageOptions opts;
+  opts.rows = opts.cols = 64;
+  opts.transform = prionn::core::Transform::kSimple;
+  const prionn::core::ScriptImageMapper mapper(opts);
+  const auto grid = mapper.to_grid(huge);
+  EXPECT_EQ(grid.size(), 64u);
+  EXPECT_EQ(grid[0].size(), 64u);  // cropped, not exploded
+}
+
+TEST(ParserAdversarial, EmptyScript) {
+  const auto f = prionn::trace::parse_script("");
+  EXPECT_EQ(f.user, "");
+  prionn::core::ScriptImageOptions opts;
+  opts.rows = opts.cols = 8;
+  opts.transform = prionn::core::Transform::kBinary;
+  const prionn::core::ScriptImageMapper mapper(opts);
+  const auto img = mapper.map_2d("");
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_EQ(img[i], 0.0f);
+}
+
+TEST(StringUtilAdversarial, SplitLinesOnPathologicalInput) {
+  EXPECT_TRUE(prionn::util::split_lines("").empty());
+  EXPECT_EQ(prionn::util::split_lines("\n\n\n").size(), 3u);
+  EXPECT_EQ(prionn::util::split_lines("\r\n").size(), 1u);
+  EXPECT_EQ(prionn::util::split_lines(std::string(1, '\0')).size(), 1u);
+}

@@ -1,0 +1,527 @@
+// Tests for the cluster simulator, snapshot turnaround prediction, the IO
+// timeline, and burst detection/scoring.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sched/burst.hpp"
+#include "sched/cluster.hpp"
+#include "sched/io_aware.hpp"
+#include "sched/io_timeline.hpp"
+#include "trace/workload.hpp"
+#include "util/rng.hpp"
+
+namespace sc = prionn::sched;
+
+namespace {
+
+sc::SimJob job(std::uint64_t id, double submit, std::uint32_t nodes,
+               double runtime, double believed = -1.0) {
+  return {id, submit, nodes, runtime, believed < 0.0 ? runtime : believed};
+}
+
+std::map<std::uint64_t, sc::ScheduledJob> by_id(
+    const std::vector<sc::ScheduledJob>& xs) {
+  std::map<std::uint64_t, sc::ScheduledJob> m;
+  for (const auto& x : xs) m[x.id] = x;
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- simulator ---
+
+TEST(Cluster, SingleJobStartsImmediately) {
+  sc::ClusterSimulator sim({4, true});
+  const auto sched = sim.run({job(1, 10.0, 2, 100.0)});
+  ASSERT_EQ(sched.size(), 1u);
+  EXPECT_DOUBLE_EQ(sched[0].start_time, 10.0);
+  EXPECT_DOUBLE_EQ(sched[0].end_time, 110.0);
+  EXPECT_DOUBLE_EQ(sched[0].turnaround(), 100.0);
+}
+
+TEST(Cluster, ParallelJobsShareNodes) {
+  sc::ClusterSimulator sim({4, true});
+  const auto sched =
+      by_id(sim.run({job(1, 0.0, 2, 100.0), job(2, 0.0, 2, 100.0)}));
+  EXPECT_DOUBLE_EQ(sched.at(1).start_time, 0.0);
+  EXPECT_DOUBLE_EQ(sched.at(2).start_time, 0.0);
+}
+
+TEST(Cluster, QueuedJobWaitsForNodes) {
+  sc::ClusterSimulator sim({4, true});
+  const auto sched =
+      by_id(sim.run({job(1, 0.0, 4, 100.0), job(2, 1.0, 4, 50.0)}));
+  EXPECT_DOUBLE_EQ(sched.at(2).start_time, 100.0);
+  EXPECT_DOUBLE_EQ(sched.at(2).turnaround(), 149.0);
+}
+
+TEST(Cluster, FcfsOrderPreservedWithoutBackfillOpportunity) {
+  sc::ClusterSimulator sim({2, true});
+  const auto sched = by_id(sim.run({
+      job(1, 0.0, 2, 100.0),
+      job(2, 1.0, 2, 10.0),
+      job(3, 2.0, 2, 10.0),
+  }));
+  EXPECT_DOUBLE_EQ(sched.at(2).start_time, 100.0);
+  EXPECT_DOUBLE_EQ(sched.at(3).start_time, 110.0);
+}
+
+TEST(Cluster, EasyBackfillFillsHoles) {
+  // Head job (2) needs the whole machine and must wait for job 1; a short
+  // 1-node job (3) can run in the hole without delaying 2's reservation.
+  sc::ClusterSimulator sim({4, true});
+  const auto sched = by_id(sim.run({
+      job(1, 0.0, 3, 100.0),
+      job(2, 1.0, 4, 50.0),
+      job(3, 2.0, 1, 50.0),
+  }));
+  EXPECT_DOUBLE_EQ(sched.at(3).start_time, 2.0);   // backfilled at submit
+  EXPECT_DOUBLE_EQ(sched.at(2).start_time, 100.0);  // reservation kept
+}
+
+TEST(Cluster, NoBackfillWhenDisabled) {
+  sc::ClusterSimulator sim({4, false});
+  const auto sched = by_id(sim.run({
+      job(1, 0.0, 3, 100.0),
+      job(2, 1.0, 4, 50.0),
+      job(3, 2.0, 1, 50.0),
+  }));
+  EXPECT_GE(sched.at(3).start_time, 100.0);  // strict FCFS behind job 2
+}
+
+TEST(Cluster, BackfillRespectsShadowTime) {
+  // The backfill candidate (3) is long (believed): starting it would delay
+  // the head job's reservation, so EASY must *not* start it in the hole —
+  // it uses a node the head job needs at shadow time.
+  sc::ClusterSimulator sim({4, true});
+  const auto sched = by_id(sim.run({
+      job(1, 0.0, 3, 100.0),
+      job(2, 1.0, 4, 50.0),
+      job(3, 2.0, 1, 500.0),
+  }));
+  EXPECT_GE(sched.at(3).start_time, 100.0);
+}
+
+TEST(Cluster, WrongBelievedRuntimeChangesBackfill) {
+  // Same workload as above, but job 3 *claims* to be short (believed 10 s)
+  // while actually running 500 s: EASY backfills it based on the claim and
+  // the head job is delayed — the mechanism by which bad user estimates
+  // hurt schedules (and PRIONN's motivation).
+  sc::ClusterSimulator sim({4, true});
+  const auto sched = by_id(sim.run({
+      job(1, 0.0, 3, 100.0),
+      job(2, 1.0, 4, 50.0),
+      job(3, 2.0, 1, 500.0, 10.0),
+  }));
+  EXPECT_DOUBLE_EQ(sched.at(3).start_time, 2.0);
+  EXPECT_GT(sched.at(2).start_time, 100.0);
+}
+
+TEST(Cluster, CapacityNeverExceeded) {
+  // Property: reconstructing node usage from the schedule never exceeds
+  // the machine size.
+  prionn::util::Rng rng(5);
+  std::vector<sc::SimJob> jobs;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    t += rng.exponential(0.05);
+    jobs.push_back(job(i, t, static_cast<std::uint32_t>(rng.uniform_int(1, 16)),
+                       rng.uniform(10.0, 500.0)));
+  }
+  sc::ClusterSimulator sim({16, true});
+  const auto sched = sim.run(jobs);
+  ASSERT_EQ(sched.size(), jobs.size());
+
+  std::vector<std::pair<double, std::int64_t>> events;
+  for (const auto& s : sched) {
+    const auto nodes = static_cast<std::int64_t>(jobs[s.id].nodes);
+    events.emplace_back(s.start_time, nodes);
+    events.emplace_back(s.end_time, -nodes);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              // Process releases before acquisitions at equal instants.
+              return a.first < b.first ||
+                     (a.first == b.first && a.second < b.second);
+            });
+  std::int64_t used = 0;
+  for (const auto& [time, delta] : events) {
+    used += delta;
+    EXPECT_LE(used, 16);
+    EXPECT_GE(used, 0);
+  }
+}
+
+TEST(Cluster, StartNeverBeforeSubmit) {
+  prionn::util::Rng rng(6);
+  std::vector<sc::SimJob> jobs;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    t += rng.exponential(0.1);
+    jobs.push_back(job(i, t, 1 + static_cast<std::uint32_t>(i % 4),
+                       rng.uniform(5.0, 100.0)));
+  }
+  sc::ClusterSimulator sim({8, true});
+  for (const auto& s : sim.run(jobs))
+    EXPECT_GE(s.start_time, s.submit_time);
+}
+
+TEST(Cluster, OutOfOrderSubmissionThrows) {
+  sc::ClusterSimulator sim({4, true});
+  sim.submit(job(1, 100.0, 1, 10.0));
+  EXPECT_THROW(sim.submit(job(2, 50.0, 1, 10.0)), std::invalid_argument);
+}
+
+TEST(Cluster, OversizedJobThrows) {
+  sc::ClusterSimulator sim({4, true});
+  EXPECT_THROW(sim.run({job(1, 0.0, 5, 10.0)}), std::invalid_argument);
+}
+
+TEST(Cluster, ZeroNodeClusterRejected) {
+  EXPECT_THROW(sc::ClusterSimulator({0, true}), std::invalid_argument);
+}
+
+TEST(Cluster, DrainLeavesIdleSystem) {
+  sc::ClusterSimulator sim({2, true});
+  sim.submit(job(1, 0.0, 1, 50.0));
+  sim.submit(job(2, 0.0, 1, 70.0));
+  sim.drain();
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.completed().size(), 2u);
+  EXPECT_EQ(sim.free_nodes(), 2u);
+}
+
+// ------------------------------------------- snapshot turnaround (4.2) ---
+
+TEST(Snapshot, PerfectPredictionsValidAndExactForFinalJob) {
+  // Even with the actual runtimes, a snapshot cannot anticipate *future*
+  // arrivals, and EASY backfill is non-monotone in the job set (Graham's
+  // scheduling anomalies: an extra job can speed up or slow down another
+  // job's completion). What IS guaranteed: every prediction is positive
+  // and finite, and the prediction for the final submission — after which
+  // nothing else arrives — reproduces the realised turnaround exactly.
+  prionn::util::Rng rng(7);
+  std::vector<sc::SimJob> jobs;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    t += rng.exponential(0.02);
+    jobs.push_back(job(i, t, static_cast<std::uint32_t>(rng.uniform_int(1, 8)),
+                       rng.uniform(30.0, 900.0)));
+  }
+  const auto actual_runtime = [&](std::uint64_t id) {
+    return jobs[id].runtime;
+  };
+
+  sc::ClusterSimulator sim({8, true});
+  std::vector<double> predicted(jobs.size());
+  for (const auto& j : jobs) {
+    sim.submit(j);
+    predicted[j.id] = sim.snapshot_turnaround(j.id, actual_runtime);
+    EXPECT_GE(predicted[j.id], j.runtime - 2.0) << "job " << j.id;
+    EXPECT_LT(predicted[j.id], 1e9) << "job " << j.id;
+  }
+  sim.drain();
+  const std::uint64_t last = jobs.back().id;
+  for (const auto& s : sim.completed())
+    if (s.id == last) EXPECT_NEAR(predicted[last], s.turnaround(), 2.0);
+}
+
+TEST(Snapshot, ExactWhenNoContention) {
+  // On an uncontended machine every snapshot prediction is exact: the job
+  // starts immediately and runs for its (perfectly predicted) runtime.
+  sc::ClusterSimulator sim({64, true});
+  std::vector<sc::SimJob> jobs;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    jobs.push_back(job(i, static_cast<double>(i), 1, 100.0 + 5.0 * i));
+  std::vector<double> predicted(jobs.size());
+  for (const auto& j : jobs) {
+    sim.submit(j);
+    predicted[j.id] =
+        sim.snapshot_turnaround(j.id, [&](std::uint64_t id) {
+          return jobs[id].runtime;
+        });
+  }
+  sim.drain();
+  for (const auto& s : sim.completed())
+    EXPECT_NEAR(predicted[s.id], s.turnaround(), 1.5);
+}
+
+TEST(Snapshot, UnknownJobReturnsNegative) {
+  sc::ClusterSimulator sim({4, true});
+  sim.submit(job(1, 0.0, 1, 10.0));
+  EXPECT_LT(sim.snapshot_turnaround(999, [](std::uint64_t) { return 1.0; }),
+            0.0);
+}
+
+TEST(Snapshot, DoesNotPerturbLiveSimulation) {
+  sc::ClusterSimulator sim({4, true});
+  sim.submit(job(1, 0.0, 2, 100.0));
+  sim.submit(job(2, 1.0, 4, 50.0));
+  const auto before_queue = sim.queued_count();
+  const auto before_now = sim.now();
+  (void)sim.snapshot_turnaround(2, [](std::uint64_t) { return 1000.0; });
+  EXPECT_EQ(sim.queued_count(), before_queue);
+  EXPECT_DOUBLE_EQ(sim.now(), before_now);
+  sim.drain();
+  EXPECT_EQ(sim.completed().size(), 2u);
+}
+
+TEST(Snapshot, BadPredictionsShiftTurnaround) {
+  // If predictions say the running job is nearly done, the queued job's
+  // predicted turnaround must be far smaller than reality.
+  sc::ClusterSimulator sim({4, true});
+  sim.submit(job(1, 0.0, 4, 1000.0));
+  sim.submit(job(2, 1.0, 4, 10.0));
+  const double optimistic =
+      sim.snapshot_turnaround(2, [](std::uint64_t) { return 5.0; });
+  const double realistic =
+      sim.snapshot_turnaround(2, [](std::uint64_t id) {
+        return id == 1 ? 1000.0 : 10.0;
+      });
+  EXPECT_LT(optimistic, realistic);
+}
+
+// ----------------------------------------------------------- timeline ---
+
+TEST(IoTimeline, SingleIntervalFullBuckets) {
+  sc::IoTimeline tl(60.0);
+  tl.add({0.0, 120.0, 100.0});
+  ASSERT_EQ(tl.buckets(), 2u);
+  EXPECT_DOUBLE_EQ(tl.series()[0], 100.0);
+  EXPECT_DOUBLE_EQ(tl.series()[1], 100.0);
+}
+
+TEST(IoTimeline, PartialBucketsProRated) {
+  sc::IoTimeline tl(60.0);
+  tl.add({30.0, 90.0, 100.0});
+  ASSERT_EQ(tl.buckets(), 2u);
+  EXPECT_DOUBLE_EQ(tl.series()[0], 50.0);
+  EXPECT_DOUBLE_EQ(tl.series()[1], 50.0);
+}
+
+TEST(IoTimeline, OverlappingIntervalsSum) {
+  sc::IoTimeline tl(60.0);
+  tl.add({0.0, 60.0, 10.0});
+  tl.add({0.0, 60.0, 30.0});
+  EXPECT_DOUBLE_EQ(tl.series()[0], 40.0);
+}
+
+TEST(IoTimeline, DegenerateIntervalsIgnored) {
+  sc::IoTimeline tl(60.0);
+  tl.add({100.0, 100.0, 50.0});
+  tl.add({100.0, 50.0, 50.0});
+  tl.add({0.0, 60.0, 0.0});
+  EXPECT_EQ(tl.buckets(), 0u);
+}
+
+TEST(IoTimeline, NegativeStartClamped) {
+  sc::IoTimeline tl(60.0);
+  tl.add({-30.0, 60.0, 100.0});
+  ASSERT_EQ(tl.buckets(), 1u);
+  EXPECT_DOUBLE_EQ(tl.series()[0], 100.0);
+}
+
+TEST(IoTimeline, ResizeAligns) {
+  sc::IoTimeline tl(60.0);
+  tl.add({0.0, 60.0, 5.0});
+  tl.resize(4);
+  EXPECT_EQ(tl.buckets(), 4u);
+  EXPECT_DOUBLE_EQ(tl.series()[3], 0.0);
+}
+
+TEST(IoTimeline, RejectsBadBucketSize) {
+  EXPECT_THROW(sc::IoTimeline(0.0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- bursts ---
+
+TEST(Burst, ThresholdIsMeanPlusSigma) {
+  const std::vector<double> series = {0, 0, 0, 0, 10};
+  sc::BurstDetector det({1.0});
+  const double mean = 2.0, sd = 4.0;
+  EXPECT_NEAR(det.threshold_of(series), mean + sd, 1e-9);
+}
+
+TEST(Burst, DetectFlagsAboveThreshold) {
+  sc::BurstDetector det;
+  const auto bursts = det.detect({1.0, 5.0, 2.0}, 2.5);
+  EXPECT_FALSE(bursts[0]);
+  EXPECT_TRUE(bursts[1]);
+  EXPECT_FALSE(bursts[2]);
+}
+
+TEST(Burst, PerfectPredictionPerfectScore) {
+  const std::vector<bool> b = {false, true, false, true, false};
+  const auto s = sc::score_bursts(b, b, 0);
+  EXPECT_EQ(s.true_positives, 2u);
+  EXPECT_EQ(s.false_positives, 0u);
+  EXPECT_EQ(s.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(s.sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(s.precision(), 1.0);
+}
+
+TEST(Burst, WindowToleranceMatchesNearbyPrediction) {
+  const std::vector<bool> actual = {false, false, true, false, false};
+  const std::vector<bool> predicted = {true, false, false, false, false};
+  // Offset of 2 buckets: missed with half_window 1, hit with 2.
+  const auto tight = sc::score_bursts(actual, predicted, 1);
+  EXPECT_EQ(tight.true_positives, 0u);
+  EXPECT_EQ(tight.false_negatives, 1u);
+  EXPECT_EQ(tight.false_positives, 1u);
+  const auto loose = sc::score_bursts(actual, predicted, 2);
+  EXPECT_EQ(loose.true_positives, 1u);
+  EXPECT_EQ(loose.false_positives, 0u);
+}
+
+TEST(Burst, SensitivityPrecisionMonotoneInWindow) {
+  // Widening the window can only help — the property behind the rising
+  // curves of Figs. 13 and 15.
+  prionn::util::Rng rng(8);
+  std::vector<bool> actual(500), predicted(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    actual[i] = rng.bernoulli(0.05);
+    predicted[i] = rng.bernoulli(0.05);
+  }
+  double last_sens = -1.0, last_prec = -1.0;
+  for (const std::size_t half : {0u, 2u, 5u, 10u, 30u}) {
+    const auto s = sc::score_bursts(actual, predicted, half);
+    EXPECT_GE(s.sensitivity(), last_sens);
+    EXPECT_GE(s.precision(), last_prec);
+    last_sens = s.sensitivity();
+    last_prec = s.precision();
+  }
+}
+
+TEST(Burst, NoActualBurstsGivesZeroSensitivityDenominator) {
+  const std::vector<bool> none(10, false);
+  const std::vector<bool> some = {true, false, false, false, false,
+                                  false, false, false, false, false};
+  const auto s = sc::score_bursts(none, some, 1);
+  EXPECT_DOUBLE_EQ(s.sensitivity(), 0.0);
+  EXPECT_EQ(s.false_positives, 1u);
+}
+
+// ------------------------------------------------- IO-aware scheduler ---
+
+namespace {
+
+sc::IoSimJob io_job(std::uint64_t id, double submit, std::uint32_t nodes,
+                    double runtime, double bw) {
+  sc::IoSimJob j;
+  j.base = job(id, submit, nodes, runtime);
+  j.predicted_bandwidth = bw;
+  j.actual_bandwidth = bw;
+  return j;
+}
+
+}  // namespace
+
+TEST(IoAware, ZeroCapBehavesLikePlainScheduler) {
+  sc::IoAwareSimulator sim({4, 0.0, true, 3600.0});
+  const auto result = sim.run({io_job(1, 0.0, 2, 100.0, 1e9),
+                               io_job(2, 0.0, 2, 100.0, 1e9)});
+  ASSERT_EQ(result.schedule.size(), 2u);
+  for (const auto& s : result.schedule) EXPECT_DOUBLE_EQ(s.start_time, 0.0);
+  EXPECT_EQ(result.oversubscribed_minutes, 0u);  // cap disabled
+}
+
+TEST(IoAware, CapSerialisesIoHeavyJobs) {
+  // Two IO-heavy jobs that fit node-wise but together exceed the cap:
+  // the IO-aware policy must run them one after the other.
+  sc::IoAwareSimulator sim({8, 100.0, true, 3600.0});
+  const auto result = sim.run({io_job(1, 0.0, 2, 120.0, 80.0),
+                               io_job(2, 0.0, 2, 120.0, 80.0)});
+  ASSERT_EQ(result.schedule.size(), 2u);
+  const double s0 = result.schedule[0].start_time;
+  const double s1 = result.schedule[1].start_time;
+  EXPECT_NEAR(std::abs(s1 - s0), 120.0, 1.0);
+  EXPECT_EQ(result.oversubscribed_minutes, 0u);
+}
+
+TEST(IoAware, LowIoJobsBackfillPastIoBlockedHead) {
+  // Head blocked on IO; a later low-IO job can still run.
+  sc::IoAwareSimulator sim({8, 100.0, true, 3600.0});
+  const auto result = sim.run({
+      io_job(1, 0.0, 2, 300.0, 90.0),  // running, nearly saturates the cap
+      io_job(2, 1.0, 2, 100.0, 50.0),  // head: blocked on IO
+      io_job(3, 2.0, 2, 100.0, 5.0),   // low IO: should backfill
+  });
+  std::map<std::uint64_t, sc::ScheduledJob> by;
+  for (const auto& s : result.schedule) by[s.id] = s;
+  EXPECT_GE(by.at(2).start_time, 300.0);  // waits for job 1's bandwidth
+  EXPECT_NEAR(by.at(3).start_time, 2.0, 1.0);
+}
+
+TEST(IoAware, StarvationGuardReleasesHead) {
+  // A single job whose predicted IO alone exceeds the cap must still run
+  // once the hold bound expires.
+  sc::IoAwareSimulator sim({4, 10.0, true, /*max_io_hold=*/60.0});
+  const auto result = sim.run({io_job(1, 0.0, 1, 50.0, 1e6)});
+  ASSERT_EQ(result.schedule.size(), 1u);
+  EXPECT_LE(result.schedule[0].start_time, 61.0);
+}
+
+TEST(IoAware, ReducesOversubscriptionVsObliviousPolicy) {
+  // Property at workload scale: with accurate predictions, the IO-aware
+  // policy produces no more over-cap minutes than the oblivious one.
+  prionn::util::Rng rng(11);
+  std::vector<sc::IoSimJob> jobs;
+  double t = 0.0;
+  for (std::uint64_t i = 0; i < 150; ++i) {
+    t += rng.exponential(0.01);
+    jobs.push_back(io_job(i, t,
+                          static_cast<std::uint32_t>(rng.uniform_int(1, 4)),
+                          rng.uniform(60.0, 1200.0),
+                          rng.bernoulli(0.25) ? rng.uniform(40.0, 90.0)
+                                              : rng.uniform(0.1, 5.0)));
+  }
+  const double cap = 120.0;
+  sc::IoAwareSimulator oblivious({16, 0.0, true, 3600.0});
+  sc::IoAwareSimulator aware({16, cap, true, 3600.0});
+  const auto r_oblivious = oblivious.run(jobs);
+  const auto r_aware = aware.run(jobs);
+  const auto over_oblivious =
+      sc::count_over_cap_minutes(r_oblivious.actual_io_series, cap);
+  const auto over_aware =
+      sc::count_over_cap_minutes(r_aware.actual_io_series, cap);
+  EXPECT_LE(over_aware, over_oblivious);
+  // Both policies complete every job.
+  EXPECT_EQ(r_aware.schedule.size(), jobs.size());
+  EXPECT_EQ(r_oblivious.schedule.size(), jobs.size());
+  // The IO-aware policy trades some wait time for the IO guarantee.
+  EXPECT_GE(r_aware.mean_wait_seconds, r_oblivious.mean_wait_seconds - 1.0);
+}
+
+TEST(IoAware, RejectsBadOptions) {
+  EXPECT_THROW(sc::IoAwareSimulator({0, 0.0, true, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(sc::IoAwareSimulator({4, -1.0, true, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(IoAware, CountOverCapMinutes) {
+  EXPECT_EQ(sc::count_over_cap_minutes({1.0, 5.0, 3.0}, 2.0), 2u);
+  EXPECT_EQ(sc::count_over_cap_minutes({}, 2.0), 0u);
+}
+
+// -------------------------------------------- end-to-end trace replay ---
+
+TEST(Cluster, ReplaysGeneratedTrace) {
+  prionn::trace::WorkloadGenerator gen(
+      prionn::trace::WorkloadOptions::cab(400));
+  const auto jobs = prionn::trace::completed_jobs(gen.generate());
+  std::vector<sc::SimJob> sim_jobs;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    sim_jobs.push_back(job(i, jobs[i].submit_time, jobs[i].requested_nodes,
+                           jobs[i].runtime_minutes * 60.0,
+                           jobs[i].requested_minutes * 60.0));
+  sc::ClusterSimulator sim({1296, true});
+  const auto sched = sim.run(sim_jobs);
+  EXPECT_EQ(sched.size(), jobs.size());
+  for (const auto& s : sched) {
+    EXPECT_GE(s.start_time, s.submit_time);
+    EXPECT_GT(s.end_time, s.start_time);
+  }
+}

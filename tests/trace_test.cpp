@@ -1,0 +1,439 @@
+// Tests for the synthetic trace substrate: the application catalogue, the
+// workload generator's calibration against the paper's Cab statistics, the
+// Table-1 feature parser, trace statistics and persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "trace/app_catalog.hpp"
+#include "trace/features.hpp"
+#include "trace/stats.hpp"
+#include "trace/store.hpp"
+#include "trace/swf.hpp"
+#include "trace/workload.hpp"
+#include "util/stats.hpp"
+
+namespace tr = prionn::trace;
+
+// ------------------------------------------------------------ catalog ---
+
+TEST(AppCatalog, DefaultCatalogWellFormed) {
+  const auto& cat = tr::default_catalog();
+  EXPECT_GE(cat.size(), 10u);
+  for (const auto& fam : cat) {
+    EXPECT_FALSE(fam.name.empty());
+    EXPECT_FALSE(fam.size_levels.empty());
+    EXPECT_FALSE(fam.step_levels.empty());
+    EXPECT_FALSE(fam.node_levels.empty());
+    EXPECT_GT(fam.base_minutes, 0.0);
+  }
+}
+
+TEST(AppCatalog, SdscCatalogHasNoIo) {
+  for (const auto& fam : tr::sdsc_catalog()) {
+    EXPECT_EQ(fam.read_bytes_per_size3, 0.0);
+    EXPECT_EQ(fam.write_bytes_per_step, 0.0);
+  }
+}
+
+TEST(AppCatalog, NominalRuntimeScalesWithSteps) {
+  const auto& fam = tr::default_catalog()[0];
+  tr::JobConfig lo, hi;
+  lo.family = hi.family = 0;
+  lo.size = hi.size = fam.size_levels[0];
+  lo.nodes = hi.nodes = fam.node_levels[0];
+  lo.steps = fam.step_levels.front();
+  hi.steps = fam.step_levels.back();
+  EXPECT_GT(fam.nominal_minutes(hi), fam.nominal_minutes(lo));
+}
+
+TEST(AppCatalog, RuntimeCappedAt16Hours) {
+  const auto& cat = tr::default_catalog();
+  for (std::size_t f = 0; f < cat.size(); ++f) {
+    tr::JobConfig c;
+    c.family = f;
+    c.size = cat[f].size_levels.back();
+    c.steps = cat[f].step_levels.back();
+    c.nodes = cat[f].node_levels.front();
+    EXPECT_LE(cat[f].nominal_minutes(c), 960.0);
+  }
+}
+
+TEST(AppCatalog, RenderedScriptIsDeterministic) {
+  prionn::util::Rng rng(1);
+  const auto& cat = tr::default_catalog();
+  const auto config = tr::sample_config(cat, 0, rng);
+  const auto a = tr::render_script(cat, config, "user001", "g01");
+  const auto b = tr::render_script(cat, config, "user001", "g01");
+  EXPECT_EQ(a, b);
+}
+
+TEST(AppCatalog, RenderedScriptLooksLikeSlurm) {
+  prionn::util::Rng rng(2);
+  const auto& cat = tr::default_catalog();
+  const auto config = tr::sample_config(cat, 3, rng);
+  const auto script = tr::render_script(cat, config, "user042", "g07");
+  EXPECT_NE(script.find("#!/bin/bash"), std::string::npos);
+  EXPECT_NE(script.find("#SBATCH --nodes="), std::string::npos);
+  EXPECT_NE(script.find("#SBATCH --time="), std::string::npos);
+  EXPECT_NE(script.find("srun"), std::string::npos);
+  EXPECT_NE(script.find("user042"), std::string::npos);
+}
+
+TEST(AppCatalog, SampleConfigStaysOnLevels) {
+  prionn::util::Rng rng(3);
+  const auto& cat = tr::default_catalog();
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t f = static_cast<std::size_t>(i) % cat.size();
+    const auto c = tr::sample_config(cat, f, rng);
+    const auto& fam = cat[f];
+    EXPECT_NE(std::find(fam.size_levels.begin(), fam.size_levels.end(),
+                        c.size),
+              fam.size_levels.end());
+    EXPECT_NE(std::find(fam.step_levels.begin(), fam.step_levels.end(),
+                        c.steps),
+              fam.step_levels.end());
+    EXPECT_NE(std::find(fam.node_levels.begin(), fam.node_levels.end(),
+                        c.nodes),
+              fam.node_levels.end());
+    EXPECT_EQ(c.tasks, c.nodes * fam.tasks_per_node);
+    EXPECT_GE(c.requested_minutes, 15u);
+    EXPECT_LE(c.requested_minutes, 960u);
+  }
+}
+
+// ---------------------------------------------------------- generator ---
+
+namespace {
+
+std::vector<tr::JobRecord> small_trace(std::size_t n = 2000,
+                                       std::uint64_t seed = 2016) {
+  tr::WorkloadGenerator gen(tr::WorkloadOptions::cab(n, seed));
+  return gen.generate();
+}
+
+}  // namespace
+
+TEST(Workload, GeneratesRequestedCount) {
+  const auto jobs = small_trace(500);
+  EXPECT_EQ(jobs.size(), 500u);
+}
+
+TEST(Workload, SubmitTimesSorted) {
+  const auto jobs = small_trace(1000);
+  for (std::size_t i = 1; i < jobs.size(); ++i)
+    EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+}
+
+TEST(Workload, DeterministicForSeed) {
+  const auto a = small_trace(300, 7), b = small_trace(300, 7);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].script, b[i].script);
+    EXPECT_EQ(a[i].runtime_minutes, b[i].runtime_minutes);
+    EXPECT_EQ(a[i].submit_time, b[i].submit_time);
+  }
+}
+
+TEST(Workload, CancelFractionApproximatesPaper) {
+  const auto jobs = small_trace(4000);
+  std::size_t canceled = 0;
+  for (const auto& j : jobs) canceled += j.canceled;
+  // Paper: 29,291 / 295,077 ~ 9.9%.
+  EXPECT_NEAR(static_cast<double>(canceled) / jobs.size(), 0.099, 0.03);
+}
+
+TEST(Workload, ScriptsRepeatLikeCab) {
+  const auto jobs = small_trace(4000);
+  const auto unique = tr::unique_script_count(jobs);
+  // Cab: 97k unique over 295k jobs — roughly one third. Allow a wide band.
+  const double ratio = static_cast<double>(unique) / jobs.size();
+  EXPECT_GT(ratio, 0.1);
+  EXPECT_LT(ratio, 0.6);
+}
+
+TEST(Workload, RuntimeDistributionCalibratedToFig8a) {
+  const auto jobs = small_trace(6000);
+  const auto s = tr::summarize(jobs);
+  // Paper: mean ~44 minutes, about half of jobs below one hour.
+  EXPECT_NEAR(s.runtime_minutes.mean, 44.0, 12.0);
+  EXPECT_LT(s.runtime_minutes.median, 60.0);
+  const auto runtimes = tr::runtimes_of(jobs);
+  EXPECT_LE(prionn::util::max_of(runtimes), 960.0);
+  EXPECT_GE(prionn::util::min_of(runtimes), 1.0);
+}
+
+TEST(Workload, UserRequestsOverestimateLikeCab) {
+  const auto jobs = small_trace(6000);
+  const auto s = tr::summarize(jobs);
+  // Paper section 1: mean error 172 minutes, ~24% relative accuracy.
+  EXPECT_GT(s.user_request_mean_error_minutes, 60.0);
+  EXPECT_LT(s.user_request_mean_error_minutes, 320.0);
+  EXPECT_GT(s.user_request_mean_relative_accuracy, 0.12);
+  EXPECT_LT(s.user_request_mean_relative_accuracy, 0.45);
+}
+
+TEST(Workload, IoBandwidthHeavyTailed) {
+  const auto jobs = small_trace(6000);
+  const auto s = tr::summarize(jobs);
+  // Fig. 9a: mean bandwidth orders of magnitude above the median.
+  EXPECT_GT(s.read_bandwidth.mean, 10.0 * s.read_bandwidth.median);
+  EXPECT_GT(s.write_bandwidth.mean, 2.0 * s.write_bandwidth.median);
+}
+
+TEST(Workload, GroundTruthFollowsScriptParameters) {
+  // Jobs with identical scripts must have close runtimes (same config,
+  // only the generator's noise differs).
+  const auto jobs = small_trace(3000);
+  std::unordered_map<std::string, std::vector<double>> by_script;
+  for (const auto& j : jobs)
+    if (!j.canceled) by_script[j.script].push_back(j.runtime_minutes);
+  std::size_t checked = 0;
+  for (const auto& [script, runtimes] : by_script) {
+    if (runtimes.size() < 3) continue;
+    const double m = prionn::util::mean(runtimes);
+    const double sd = prionn::util::stddev(runtimes);
+    EXPECT_LT(sd, std::max(2.0, 0.3 * m)) << "script group too noisy";
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+TEST(Workload, CompletedJobsDropsCanceled) {
+  const auto jobs = small_trace(2000);
+  const auto completed = tr::completed_jobs(jobs);
+  EXPECT_LT(completed.size(), jobs.size());
+  for (const auto& j : completed) EXPECT_FALSE(j.canceled);
+}
+
+TEST(Workload, SdscPresetsDiffer) {
+  tr::WorkloadGenerator g95(tr::WorkloadOptions::sdsc95(800));
+  tr::WorkloadGenerator g96(tr::WorkloadOptions::sdsc96(800));
+  const auto s95 = tr::summarize(g95.generate());
+  const auto s96 = tr::summarize(g96.generate());
+  EXPECT_EQ(s95.canceled_jobs, 0u);
+  EXPECT_EQ(s96.canceled_jobs, 0u);
+  EXPECT_GT(s95.runtime_minutes.mean, 20.0);  // longer 1990s jobs
+}
+
+TEST(Workload, RejectsBadOptions) {
+  tr::WorkloadOptions zero_jobs;
+  zero_jobs.jobs = 0;
+  EXPECT_THROW(tr::WorkloadGenerator{zero_jobs}, std::invalid_argument);
+  tr::WorkloadOptions zero_users;
+  zero_users.users = 0;
+  EXPECT_THROW(tr::WorkloadGenerator{zero_users}, std::invalid_argument);
+}
+
+// -------------------------------------------------------- feature parse ---
+
+TEST(Features, ParsesRenderedScript) {
+  prionn::util::Rng rng(4);
+  const auto& cat = tr::default_catalog();
+  const auto config = tr::sample_config(cat, 1, rng);
+  const auto script = tr::render_script(cat, config, "user007", "g03");
+  const auto f = tr::parse_script(script);
+  EXPECT_NEAR(f.requested_hours, config.requested_minutes / 60.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.requested_nodes, config.nodes);
+  EXPECT_DOUBLE_EQ(f.requested_tasks, config.tasks);
+  EXPECT_EQ(f.user, "user007");
+  EXPECT_EQ(f.group, "g03");
+  EXPECT_EQ(f.account, cat[1].account);
+  EXPECT_EQ(f.job_name, cat[1].name + "_s" + std::to_string(config.size));
+  EXPECT_NE(f.working_dir.find("/p/lscratchd/user007"), std::string::npos);
+  EXPECT_NE(f.submission_dir.find("/g/g03/user007"), std::string::npos);
+}
+
+TEST(Features, MissingFieldsKeepDefaults) {
+  const auto f = tr::parse_script("#!/bin/bash\necho hi\n");
+  EXPECT_DOUBLE_EQ(f.requested_hours, 0.0);
+  EXPECT_DOUBLE_EQ(f.requested_nodes, 1.0);
+  EXPECT_TRUE(f.user.empty());
+}
+
+TEST(Features, WalltimeFormats) {
+  const auto hours = [](const std::string& t) {
+    return tr::parse_script("#SBATCH --time=" + t + "\n").requested_hours;
+  };
+  EXPECT_NEAR(hours("02:30:00"), 2.5, 1e-9);
+  EXPECT_NEAR(hours("45:00"), 0.75, 1e-9);
+  EXPECT_NEAR(hours("90"), 1.5, 1e-9);
+}
+
+TEST(Features, SbatchValueBothSeparators) {
+  const auto a = tr::parse_script("#SBATCH --nodes=4\n");
+  const auto b = tr::parse_script("#SBATCH --nodes 4\n");
+  EXPECT_DOUBLE_EQ(a.requested_nodes, 4.0);
+  EXPECT_DOUBLE_EQ(b.requested_nodes, 4.0);
+}
+
+TEST(Features, PrefixOptionsDoNotCollide) {
+  // --ntasks-per-node must not be parsed as --ntasks.
+  const auto f = tr::parse_script("#SBATCH --ntasks-per-node=16\n");
+  EXPECT_DOUBLE_EQ(f.requested_tasks, 1.0);
+}
+
+TEST(Features, EncoderBuildsFixedWidthRows) {
+  tr::FeatureEncoder enc;
+  tr::ScriptFeatures f;
+  f.requested_hours = 2.0;
+  f.user = "alice";
+  const auto row1 = enc.encode(f);
+  EXPECT_EQ(row1.size(), tr::ScriptFeatures::kCount);
+  EXPECT_DOUBLE_EQ(row1[0], 2.0);
+  f.user = "bob";
+  const auto row2 = enc.encode(f);
+  EXPECT_NE(row1[3], row2[3]);  // distinct users, distinct codes
+  f.user = "alice";
+  const auto row3 = enc.encode(f);
+  EXPECT_DOUBLE_EQ(row1[3], row3[3]);  // stable across calls
+}
+
+TEST(Features, EncodeJobsProducesDataset) {
+  const auto jobs = tr::completed_jobs(small_trace(300));
+  tr::FeatureEncoder enc;
+  const auto data = enc.encode_jobs(
+      jobs, [](const tr::JobRecord& j) { return j.runtime_minutes; });
+  EXPECT_EQ(data.rows(), jobs.size());
+  EXPECT_EQ(data.features(), tr::ScriptFeatures::kCount);
+  EXPECT_DOUBLE_EQ(data.target(0), jobs[0].runtime_minutes);
+}
+
+// ---------------------------------------------------------------- stats ---
+
+TEST(TraceStats, HistogramsCoverData) {
+  const auto jobs = small_trace(1500);
+  const auto rh = tr::runtime_histogram(jobs);
+  EXPECT_GT(rh.total(), 0u);
+  const auto rbh = tr::read_bandwidth_histogram(jobs);
+  const auto wbh = tr::write_bandwidth_histogram(jobs);
+  EXPECT_EQ(rbh.total(), wbh.total());
+}
+
+TEST(TraceStats, JobRecordBandwidthHelpers) {
+  tr::JobRecord j;
+  j.runtime_minutes = 2.0;
+  j.bytes_read = 1200.0;
+  j.bytes_written = 600.0;
+  EXPECT_DOUBLE_EQ(j.read_bandwidth(), 10.0);
+  EXPECT_DOUBLE_EQ(j.write_bandwidth(), 5.0);
+  j.runtime_minutes = 0.0;
+  EXPECT_DOUBLE_EQ(j.read_bandwidth(), 0.0);
+}
+
+// ---------------------------------------------------------------- store ---
+
+TEST(Store, RoundTripPreservesEverything) {
+  const auto jobs = small_trace(50);
+  std::stringstream ss;
+  tr::save_trace(ss, jobs);
+  const auto loaded = tr::load_trace(ss);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(loaded[i].job_id, jobs[i].job_id);
+    EXPECT_EQ(loaded[i].user, jobs[i].user);
+    EXPECT_EQ(loaded[i].script, jobs[i].script);
+    EXPECT_EQ(loaded[i].canceled, jobs[i].canceled);
+    EXPECT_DOUBLE_EQ(loaded[i].submit_time, jobs[i].submit_time);
+    EXPECT_DOUBLE_EQ(loaded[i].runtime_minutes, jobs[i].runtime_minutes);
+    EXPECT_DOUBLE_EQ(loaded[i].bytes_read, jobs[i].bytes_read);
+  }
+}
+
+// ----------------------------------------------------------------- SWF ---
+
+TEST(Swf, ExportedTraceParsesBack) {
+  const auto jobs = small_trace(80);
+  std::stringstream ss;
+  tr::save_swf(ss, jobs);
+  const auto loaded = tr::load_swf(ss);
+  ASSERT_EQ(loaded.size(), jobs.size());
+  // SWF carries the numeric schedule fields; verify them per job id.
+  std::unordered_map<std::uint64_t, const tr::JobRecord*> by_id;
+  for (const auto& j : loaded) by_id[j.job_id] = &j;
+  for (const auto& j : jobs) {
+    const auto* l = by_id.at(j.job_id);
+    EXPECT_EQ(l->canceled, j.canceled);
+    EXPECT_NEAR(l->submit_time, j.submit_time, 1.0);  // integer seconds
+    if (!j.canceled) {
+      EXPECT_NEAR(l->runtime_minutes, j.runtime_minutes, 1.0 / 60.0 + 1e-9);
+      EXPECT_EQ(l->requested_tasks, j.requested_tasks);
+    }
+  }
+}
+
+TEST(Swf, ImportSynthesizesScripts) {
+  const auto jobs = small_trace(40);
+  std::stringstream ss;
+  tr::save_swf(ss, jobs);
+  const auto loaded = tr::load_swf(ss);
+  for (const auto& j : loaded) {
+    EXPECT_NE(j.script.find("#!/bin/bash"), std::string::npos);
+    EXPECT_NE(j.script.find("#SBATCH"), std::string::npos);
+  }
+  // Same (user, app) pairs reproduce structurally identical scripts: the
+  // repeat structure PRIONN relies on survives the SWF round trip.
+  EXPECT_LT(tr::unique_script_count(loaded), loaded.size());
+}
+
+TEST(Swf, ImportWithoutScripts) {
+  const auto jobs = small_trace(10);
+  std::stringstream ss;
+  tr::save_swf(ss, jobs);
+  tr::SwfOptions opts;
+  opts.synthesize_scripts = false;
+  const auto loaded = tr::load_swf(ss, opts);
+  for (const auto& j : loaded) EXPECT_TRUE(j.script.empty());
+}
+
+TEST(Swf, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "; header comment\n"
+      "\n"
+      "1 100 5 600 16 -1 -1 16 1200 -1 1 3 2 4 1 1 -1 -1\n");
+  const auto jobs = tr::load_swf(ss);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].job_id, 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].submit_time, 100.0);
+  EXPECT_DOUBLE_EQ(jobs[0].runtime_minutes, 10.0);
+  EXPECT_DOUBLE_EQ(jobs[0].requested_minutes, 20.0);
+  EXPECT_EQ(jobs[0].user, "user3");
+  EXPECT_FALSE(jobs[0].canceled);
+}
+
+TEST(Swf, CanceledStatusRespected) {
+  std::stringstream ss("7 50 -1 -1 -1 -1 -1 8 600 -1 5 1 1 1 1 1 -1 -1\n");
+  const auto jobs = tr::load_swf(ss);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_TRUE(jobs[0].canceled);
+}
+
+TEST(Swf, MalformedLineThrows) {
+  std::stringstream ss("1 2 3\n");
+  EXPECT_THROW(tr::load_swf(ss), std::runtime_error);
+}
+
+TEST(Swf, OutputSortedBySubmitTime) {
+  std::stringstream ss(
+      "2 500 0 60 1 -1 -1 1 120 -1 1 1 1 1 1 1 -1 -1\n"
+      "1 100 0 60 1 -1 -1 1 120 -1 1 1 1 1 1 1 -1 -1\n");
+  const auto jobs = tr::load_swf(ss);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_LE(jobs[0].submit_time, jobs[1].submit_time);
+}
+
+TEST(Store, RejectsWrongHeader) {
+  std::stringstream ss("NOT A TRACE\n0\n");
+  EXPECT_THROW(tr::load_trace(ss), std::runtime_error);
+}
+
+TEST(Store, RejectsTruncatedPayload) {
+  const auto jobs = small_trace(3);
+  std::stringstream ss;
+  tr::save_trace(ss, jobs);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream cut(text);
+  EXPECT_THROW(tr::load_trace(cut), std::runtime_error);
+}
