@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/check.hpp"
 #include "util/stats.hpp"
 
 namespace prionn::core {
@@ -63,8 +64,14 @@ TurnaroundEval evaluate_turnaround(
   sim.drain();
 
   eval.schedule = sim.completed();
-  for (const auto& done : eval.schedule)
+  for (const auto& done : eval.schedule) {
+    // The simulator hands back ids it was given; an out-of-range id here
+    // would scribble outside the result vectors.
+    PRIONN_CHECK(done.id < eval.simulated.size())
+        << "evaluate_turnaround: simulator returned unknown job id "
+        << done.id << " (submitted " << jobs.size() << ")";
     eval.simulated[done.id] = done.turnaround();
+  }
   return eval;
 }
 
@@ -77,8 +84,11 @@ std::vector<sched::IoInterval> actual_io_intervals(
     const auto& j = jobs.at(s.id);
     const double duration = s.end_time - s.start_time;
     if (duration <= 0.0) continue;
-    out.push_back({s.start_time, s.end_time,
-                   (j.bytes_read + j.bytes_written) / duration});
+    const double bandwidth = (j.bytes_read + j.bytes_written) / duration;
+    PRIONN_DCHECK_FINITE(bandwidth)
+        << "actual_io_intervals: job " << s.id << " over " << duration
+        << "s";
+    out.push_back({s.start_time, s.end_time, bandwidth});
   }
   return out;
 }

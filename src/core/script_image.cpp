@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "embed/char_vocab.hpp"
+#include "util/check.hpp"
 #include "util/string_util.hpp"
 #include "util/thread_pool.hpp"
 
@@ -43,6 +44,13 @@ std::vector<std::string> ScriptImageMapper::to_grid(
   auto lines = util::split_lines(script);
   lines.resize(options_.rows);  // crop or extend with empty lines
   for (auto& line : lines) line.resize(options_.cols, ' ');
+  // Post-condition for the crop/pad above: every script maps to exactly
+  // the configured grid (the paper's 64x64), whatever its original shape.
+  PRIONN_DCHECK(lines.size() == options_.rows &&
+                lines.front().size() == options_.cols &&
+                lines.back().size() == options_.cols)
+      << "ScriptImageMapper::to_grid: grid is not " << options_.rows << "x"
+      << options_.cols;
   return lines;
 }
 
@@ -65,6 +73,9 @@ void ScriptImageMapper::write_pixel(float* sample, std::size_t r,
       break;
     case Transform::kWord2Vec: {
       const auto v = embedding_.vector_of(ch);
+      PRIONN_DCHECK(v.size() == embedding_.dimension())
+          << "ScriptImageMapper: embedding vector width " << v.size()
+          << " != dimension " << embedding_.dimension();
       for (std::size_t d = 0; d < v.size(); ++d)
         sample[d * plane + offset] = v[d];
       break;
@@ -73,6 +84,9 @@ void ScriptImageMapper::write_pixel(float* sample, std::size_t r,
 }
 
 tensor::Tensor ScriptImageMapper::map_2d(std::string_view script) const {
+  PRIONN_CHECK(channels() > 0)
+      << "ScriptImageMapper: transform '"
+      << transform_name(options_.transform) << "' yields zero channels";
   tensor::Tensor out({channels(), options_.rows, options_.cols});
   const auto grid = to_grid(script);
   for (std::size_t r = 0; r < options_.rows; ++r)
@@ -92,9 +106,14 @@ tensor::Tensor ScriptImageMapper::map_1d(std::string_view script) const {
 
 tensor::Tensor ScriptImageMapper::map_batch_2d(
     const std::vector<std::string>& scripts) const {
+  PRIONN_CHECK(channels() > 0)
+      << "ScriptImageMapper: transform '"
+      << transform_name(options_.transform) << "' yields zero channels";
   tensor::Tensor out(
       {scripts.size(), channels(), options_.rows, options_.cols});
   const std::size_t sample_size = channels() * options_.rows * options_.cols;
+  PRIONN_DCHECK(out.size() == scripts.size() * sample_size)
+      << "ScriptImageMapper::map_batch_2d: tensor/sample stride mismatch";
   // The paper maps scripts "concurrently"; each script is independent.
   util::parallel_for(0, scripts.size(), [&](std::size_t i) {
     const auto grid = to_grid(scripts[i]);

@@ -5,6 +5,10 @@ namespace prionn::ml {
 void Dataset::add_row(std::span<const double> x, double y) {
   if (x.size() != features_)
     throw std::invalid_argument("Dataset::add_row: feature count mismatch");
+  // Non-finite features/targets would silently poison every split search
+  // in the tree models, so reject them at ingestion in checked builds.
+  PRIONN_DCHECK_FINITE(x) << "Dataset::add_row: row " << rows();
+  PRIONN_DCHECK_FINITE(y) << "Dataset::add_row: target of row " << rows();
   x_.insert(x_.end(), x.begin(), x.end());
   targets_.push_back(y);
 }

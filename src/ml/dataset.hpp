@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace prionn::ml {
 
 class Dataset {
@@ -24,12 +26,21 @@ class Dataset {
   void clear() noexcept;
 
   std::span<const double> row(std::size_t r) const noexcept {
+    PRIONN_DCHECK(r < rows())
+        << "Dataset::row: " << r << " >= " << rows();
     return {x_.data() + r * features_, features_};
   }
   double feature(std::size_t r, std::size_t f) const noexcept {
+    PRIONN_DCHECK(r < rows() && f < features_)
+        << "Dataset::feature: (" << r << ", " << f << ") out of "
+        << rows() << " x " << features_;
     return x_[r * features_ + f];
   }
-  double target(std::size_t r) const noexcept { return targets_[r]; }
+  double target(std::size_t r) const noexcept {
+    PRIONN_DCHECK(r < rows())
+        << "Dataset::target: " << r << " >= " << rows();
+    return targets_[r];
+  }
   std::span<const double> targets() const noexcept { return targets_; }
 
   /// Row subset (copying), used for train/test splits in tests.

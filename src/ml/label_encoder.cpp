@@ -1,8 +1,13 @@
 #include "ml/label_encoder.hpp"
 
+#include "util/check.hpp"
+
 namespace prionn::ml {
 
 double LabelEncoder::encode(std::string_view value) {
+  PRIONN_DCHECK(to_id_.size() == to_value_.size())
+      << "LabelEncoder: id map (" << to_id_.size() << ") and value table ("
+      << to_value_.size() << ") cardinality diverged";
   const auto it = to_id_.find(std::string(value));
   if (it != to_id_.end()) return static_cast<double>(it->second);
   const std::size_t id = to_value_.size();

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace prionn::nn {
 
 BatchNorm::BatchNorm(std::size_t channels, double momentum, double epsilon)
@@ -51,9 +53,14 @@ std::size_t BatchNorm::samples_per_channel(const Tensor& input) const {
 }
 
 Tensor BatchNorm::forward(const Tensor& input, bool training) {
+  PRIONN_CHECK(input.rank() >= 2 && input.dim(1) == channels())
+      << "BatchNorm::forward: expected (N, " << channels()
+      << ", ...) batch, got " << tensor::shape_to_string(input.shape());
   const std::size_t n = input.dim(0);
   const std::size_t c = channels();
   const std::size_t spatial = input.size() / (n * c);
+  PRIONN_DCHECK(spatial * n * c == input.size())
+      << "BatchNorm::forward: batch size not divisible by channel planes";
   const auto count = static_cast<double>(n * spatial);
   trained_forward_ = training;
 
@@ -118,6 +125,11 @@ Tensor BatchNorm::forward(const Tensor& input, bool training) {
 Tensor BatchNorm::backward(const Tensor& grad_output) {
   if (!trained_forward_)
     throw std::logic_error("BatchNorm::backward: forward(training) first");
+  PRIONN_CHECK(grad_output.same_shape(normalized_))
+      << "BatchNorm::backward: gradient shape "
+      << tensor::shape_to_string(grad_output.shape())
+      << " does not match cached forward shape "
+      << tensor::shape_to_string(normalized_.shape());
   const std::size_t n = grad_output.dim(0);
   const std::size_t c = channels();
   const std::size_t spatial = grad_output.size() / (n * c);

@@ -8,6 +8,7 @@
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
+#include "util/check.hpp"
 
 namespace prionn::nn {
 
@@ -112,6 +113,17 @@ Tensor Conv2d::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
+  PRIONN_CHECK(!input_.empty()) << "Conv2d::backward: forward() first";
+  PRIONN_CHECK(grad_output.rank() == 4 &&
+               grad_output.dim(0) == input_.dim(0) &&
+               grad_output.dim(1) == out_channels() &&
+               grad_output.dim(2) == geom_.out_h() &&
+               grad_output.dim(3) == geom_.out_w())
+      << "Conv2d::backward: gradient shape "
+      << tensor::shape_to_string(grad_output.shape())
+      << " does not match forward geometry (" << input_.dim(0) << ", "
+      << out_channels() << ", " << geom_.out_h() << ", " << geom_.out_w()
+      << ")";
   const std::size_t batch = grad_output.dim(0);
   const std::size_t pr = geom_.patch_rows();
   const std::size_t pixels = geom_.patch_cols();

@@ -7,6 +7,7 @@
 
 #include "nn/init.hpp"
 #include "tensor/gemm.hpp"
+#include "util/check.hpp"
 
 namespace prionn::nn {
 
@@ -53,6 +54,15 @@ Tensor Dense::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor Dense::backward(const Tensor& grad_output) {
+  PRIONN_CHECK(grad_output.rank() == 2 &&
+               grad_output.dim(1) == out_features())
+      << "Dense::backward: gradient shape "
+      << tensor::shape_to_string(grad_output.shape()) << " does not match "
+      << out_features() << " output features";
+  PRIONN_CHECK(!input_.empty() && grad_output.dim(0) == input_.dim(0))
+      << "Dense::backward: gradient batch " << grad_output.dim(0)
+      << " does not match cached forward batch "
+      << (input_.empty() ? 0 : input_.dim(0));
   const std::size_t batch = grad_output.dim(0);
   // dW += dY^T (out x N) * X (N x in)
   tensor::gemm_at(out_features(), batch, in_features(), 1.0f,

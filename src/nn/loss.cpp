@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace prionn::nn {
 
@@ -33,6 +34,14 @@ LossResult softmax_cross_entropy(const tensor::Tensor& logits,
     for (std::size_t c = 0; c < classes; ++c) row[c] *= inv_batch;
   }
   result.value = loss / static_cast<double>(batch);
+  // Trust boundary: a NaN/Inf loss means the forward pass diverged (bad
+  // inputs or exploded weights). Fail here, at the point of production,
+  // instead of letting NaN gradients silently poison the parameters and
+  // every later prediction.
+  PRIONN_CHECK_FINITE(result.value)
+      << "softmax_cross_entropy: loss diverged over " << batch << " samples";
+  PRIONN_DCHECK_FINITE(result.grad.span())
+      << "softmax_cross_entropy: non-finite gradient";
   return result;
 }
 
@@ -56,6 +65,11 @@ LossResult mean_squared_error(const tensor::Tensor& output,
     result.grad[i] = static_cast<float>(2.0 * diff / n);
   }
   result.value = loss / n;
+  PRIONN_CHECK_FINITE(result.value)
+      << "mean_squared_error: loss diverged over " << output.size()
+      << " elements";
+  PRIONN_DCHECK_FINITE(result.grad.span())
+      << "mean_squared_error: non-finite gradient";
   return result;
 }
 

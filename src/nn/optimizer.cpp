@@ -3,7 +3,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace prionn::nn {
+
+namespace {
+
+// Shared step contract: parameter/gradient tensors must agree in shape
+// (a mismatch would read out of bounds below), and in checked builds the
+// incoming gradients must be finite so a diverging update aborts at the
+// step instead of corrupting the weights.
+void check_step_pair(const tensor::Tensor& w, const tensor::Tensor& g,
+                     std::size_t index) {
+  PRIONN_CHECK(g.same_shape(w))
+      << "Optimizer::step: gradient " << index << " shape "
+      << tensor::shape_to_string(g.shape()) << " != parameter shape "
+      << tensor::shape_to_string(w.shape());
+  PRIONN_DCHECK_FINITE(g.span())
+      << "Optimizer::step: non-finite gradient for parameter " << index;
+}
+
+}  // namespace
 
 Sgd::Sgd(double lr, double momentum, double weight_decay)
     : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
@@ -17,6 +37,7 @@ void Sgd::step(const std::vector<tensor::Tensor*>& params,
   for (std::size_t p = 0; p < params.size(); ++p) {
     tensor::Tensor& w = *params[p];
     const tensor::Tensor& g = *grads[p];
+    check_step_pair(w, g, p);
     const auto lr = static_cast<float>(lr_);
     const auto wd = static_cast<float>(weight_decay_);
     if (momentum_ == 0.0) {
@@ -49,6 +70,7 @@ void Adam::step(const std::vector<tensor::Tensor*>& params,
   for (std::size_t p = 0; p < params.size(); ++p) {
     tensor::Tensor& w = *params[p];
     const tensor::Tensor& g = *grads[p];
+    check_step_pair(w, g, p);
     auto [it, inserted] = moments_.try_emplace(params[p]);
     Moments& st = it->second;
     if (inserted || !st.m.same_shape(w)) {

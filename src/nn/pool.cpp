@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace prionn::nn {
 
 namespace {
@@ -71,6 +73,9 @@ Tensor MaxPool2d::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  PRIONN_CHECK(grad_output.size() == argmax_.size())
+      << "MaxPool2d::backward: gradient has " << grad_output.size()
+      << " elements but forward produced " << argmax_.size();
   Tensor grad_input(input_shape_);
   for (std::size_t i = 0; i < grad_output.size(); ++i)
     grad_input[argmax_[i]] += grad_output[i];
@@ -132,6 +137,9 @@ Tensor MaxPool1d::forward(const Tensor& input, bool /*training*/) {
 }
 
 Tensor MaxPool1d::backward(const Tensor& grad_output) {
+  PRIONN_CHECK(grad_output.size() == argmax_.size())
+      << "MaxPool1d::backward: gradient has " << grad_output.size()
+      << " elements but forward produced " << argmax_.size();
   Tensor grad_input(input_shape_);
   for (std::size_t i = 0; i < grad_output.size(); ++i)
     grad_input[argmax_[i]] += grad_output[i];

@@ -1,0 +1,40 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#include <unistd.h>
+#define PRIONN_HAS_BACKTRACE 1
+#endif
+
+namespace prionn::util::check_detail {
+
+namespace {
+
+void print_stack_trace() {
+#ifdef PRIONN_HAS_BACKTRACE
+  void* frames[64];
+  const int depth = backtrace(frames, 64);
+  backtrace_symbols_fd(frames, depth, STDERR_FILENO);
+#endif
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
+  os_ << file << ":" << line << ": PRIONN_CHECK(" << expr << ") failed: ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = os_.str();
+  std::fputs(message.c_str(), stderr);
+  std::fputc('\n', stderr);
+  print_stack_trace();
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace prionn::util::check_detail

@@ -1,0 +1,88 @@
+// Runtime contract macros for trust-boundary validation. The policy
+// (documented in DESIGN.md) is three-tiered:
+//
+//   PRIONN_CHECK(cond)        always on; cheap O(1)-ish invariants whose
+//                             violation means memory-unsafe or silently
+//                             corrupt behaviour would follow.
+//   PRIONN_DCHECK(cond)       on in debug builds and sanitizer builds
+//                             (PRIONN_ENABLE_DCHECKS); may scan whole
+//                             tensors or validate per-element properties.
+//   PRIONN_CHECK_FINITE(x)    always on; guards scalar summary values
+//                             (losses, bandwidths) so NaN/Inf is caught at
+//                             the point of production instead of leaking
+//                             into predictions. PRIONN_DCHECK_FINITE is
+//                             the debug-tier variant for whole buffers.
+//
+// A failed check prints `file:line`, the expression, the streamed message,
+// and a stack trace, then aborts — contracts are programmer errors, not
+// recoverable conditions (those keep using exceptions at the public API).
+//
+//   PRIONN_CHECK(rows == cols) << "grid must be square, got " << rows;
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <sstream>
+
+namespace prionn::util::check_detail {
+
+/// Accumulates the streamed message for a failed check and aborts with a
+/// stack trace when the full expression finishes evaluating.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  ~CheckFailure();  // prints and aborts; never returns
+  std::ostream& stream() noexcept { return os_; }
+
+ private:
+  std::ostringstream os_;
+};
+
+/// Gives the false arm of the PRIONN_CHECK ternary type `void` so both
+/// arms agree; `&` binds looser than `<<`, so messages stream first.
+struct Voidify {
+  void operator&(std::ostream&) const noexcept {}
+};
+
+inline bool all_finite(float v) noexcept { return std::isfinite(v); }
+inline bool all_finite(double v) noexcept { return std::isfinite(v); }
+inline bool all_finite(std::span<const float> v) noexcept {
+  for (const float x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+inline bool all_finite(std::span<const double> v) noexcept {
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+}  // namespace prionn::util::check_detail
+
+#define PRIONN_CHECK(cond)                                       \
+  (static_cast<bool>(cond))                                      \
+      ? (void)0                                                  \
+      : ::prionn::util::check_detail::Voidify() &                \
+            ::prionn::util::check_detail::CheckFailure(          \
+                __FILE__, __LINE__, #cond)                       \
+                .stream()
+
+#define PRIONN_CHECK_FINITE(value)                               \
+  PRIONN_CHECK(::prionn::util::check_detail::all_finite(value))  \
+      << "non-finite value in `" #value "`: "
+
+// Debug-tier checks: live when NDEBUG is unset (Debug builds) or when the
+// build opts in (sanitizer configurations define PRIONN_ENABLE_DCHECKS so
+// ASan/UBSan/TSan runs exercise the expensive contracts too).
+#if !defined(NDEBUG) || defined(PRIONN_ENABLE_DCHECKS)
+#define PRIONN_DCHECK_IS_ON() 1
+#define PRIONN_DCHECK(cond) PRIONN_CHECK(cond)
+#define PRIONN_DCHECK_FINITE(value) PRIONN_CHECK_FINITE(value)
+#else
+#define PRIONN_DCHECK_IS_ON() 0
+// Compiled (so the condition stays well-formed) but never evaluated.
+#define PRIONN_DCHECK(cond) \
+  while (false) PRIONN_CHECK(cond)
+#define PRIONN_DCHECK_FINITE(value) \
+  while (false) PRIONN_CHECK_FINITE(value)
+#endif

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace prionn::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -23,6 +25,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_chunk(std::size_t chunk_id) {
+  PRIONN_DCHECK(task_.body != nullptr && chunk_id < task_.chunks)
+      << "ThreadPool::run_chunk: chunk " << chunk_id << " of "
+      << task_.chunks;
   const std::size_t total = task_.end - task_.begin;
   const std::size_t per = total / task_.chunks;
   const std::size_t extra = total % task_.chunks;
@@ -66,6 +71,11 @@ void ThreadPool::parallel_for_chunks(
     fn(begin, end);
     return;
   }
+  // Workers with id >= chunks still wake and decrement remaining_, so the
+  // partition below stays exact only while chunks <= workers + 1.
+  PRIONN_CHECK(chunks <= workers_.size() + 1)
+      << "ThreadPool: " << chunks << " chunks for " << workers_.size() + 1
+      << " threads";
   {
     std::lock_guard lock(mutex_);
     task_ = Task{&fn, begin, end, chunks};
