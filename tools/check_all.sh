@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Full correctness gate: format check, clang-tidy, and the ctest suite
+# under a plain Release build and under each sanitizer.
+#
+#   tools/check_all.sh                 # run every stage
+#   tools/check_all.sh format tidy     # just the static stages
+#   tools/check_all.sh address thread  # just those sanitizer suites
+#
+# Stages: format, tidy, release, address, undefined, thread.
+# Stages whose tooling is unavailable (no clang-format / clang-tidy on
+# PATH) are reported as SKIPPED and do not fail the gate; sanitizer and
+# test stages always run and must pass.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+suppressions="$repo_root/tools/sanitizer-suppressions.txt"
+stages=("$@")
+if [ ${#stages[@]} -eq 0 ]; then
+  stages=(format tidy release address undefined thread)
+fi
+
+declare -a results=()
+note() { printf '\n== %s ==\n' "$*"; }
+record() { results+=("$1"); }
+
+run_suite() {  # run_suite <name> <sanitize-value>
+  local name="$1" sanitize="$2"
+  local build_dir="build-check-$name"
+  note "configure+build+ctest: $name (PRIONN_SANITIZE=$sanitize)"
+  cmake -B "$build_dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPRIONN_SANITIZE="$sanitize" >/dev/null
+  cmake --build "$build_dir" -j "$jobs"
+  # The suppressions file is the single ledger for tolerated findings;
+  # halt_on_error keeps ASan/TSan failures from being reported-and-ignored.
+  env \
+    ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    UBSAN_OPTIONS="print_stacktrace=1" \
+    LSAN_OPTIONS="suppressions=$suppressions" \
+    TSAN_OPTIONS="halt_on_error=1:suppressions=$suppressions" \
+    ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+  record "PASS  $name"
+}
+
+for stage in "${stages[@]}"; do
+  case "$stage" in
+    format)
+      if command -v clang-format >/dev/null 2>&1; then
+        note "clang-format --dry-run"
+        git ls-files '*.cpp' '*.hpp' |
+          xargs clang-format --dry-run --Werror
+        record "PASS  format"
+      else
+        record "SKIP  format (clang-format not on PATH)"
+      fi
+      ;;
+    tidy)
+      if command -v clang-tidy >/dev/null 2>&1; then
+        note "clang-tidy build (PRIONN_TIDY=ON)"
+        cmake -B build-check-tidy -S . \
+          -DCMAKE_BUILD_TYPE=Release -DPRIONN_TIDY=ON >/dev/null
+        cmake --build build-check-tidy -j "$jobs"
+        record "PASS  tidy"
+      else
+        record "SKIP  tidy (clang-tidy not on PATH)"
+      fi
+      ;;
+    release)   run_suite release off ;;
+    address)   run_suite asan address ;;
+    undefined) run_suite ubsan undefined ;;
+    thread)    run_suite tsan thread ;;
+    *)
+      echo "unknown stage: $stage" >&2
+      echo "stages: format tidy release address undefined thread" >&2
+      exit 2
+      ;;
+  esac
+done
+
+note "summary"
+printf '%s\n' "${results[@]}"
