@@ -41,14 +41,17 @@ std::size_t Histogram::bin_of(double x) const noexcept {
   }
   const auto n = static_cast<double>(counts_.size());
   const double idx = std::floor(t * n);
-  if (idx < 0.0) return 0;
+  // The negated comparison also routes NaN (for which every ordered
+  // comparison is false) into bin 0; the old `idx < 0.0` guard fell
+  // through to an out-of-range float->size_t cast, which is UB.
+  if (!(idx >= 0.0)) return 0;
   if (idx >= n) return counts_.size() - 1;
   return static_cast<std::size_t>(idx);
 }
 
 void Histogram::add(double x) noexcept {
   ++total_;
-  if (log_scale_ ? x < lo_ : x < lo_) ++underflow_;
+  if (x < lo_) ++underflow_;
   if (x >= hi_) ++overflow_;
   ++counts_[bin_of(x)];
 }

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -366,6 +367,20 @@ TEST(Histogram, OutOfRangeClampsToEdges) {
   EXPECT_EQ(h.count(9), 1u);
   EXPECT_EQ(h.underflow(), 1u);
   EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, NonFiniteInputsRouteToEdgeBinsWithoutUB) {
+  // Regression: NaN used to fall through bin_of's range guards into an
+  // out-of-range double->size_t cast (undefined behaviour under UBSan).
+  auto h = u::Histogram::linear(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.count(0), 2u);  // NaN and -inf
+  EXPECT_EQ(h.count(9), 1u);  // +inf clamps to the top bucket
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
 }
 
 TEST(Histogram, LogarithmicBinning) {
