@@ -135,7 +135,8 @@ TEST(ScriptImage, Word2VecTransformUsesEmbedding) {
   const core::ScriptImageMapper mapper(opts, tiny_embedding(4));
   EXPECT_EQ(mapper.channels(), 4u);
   const auto img = mapper.map_2d("x");
-  const auto expected = tiny_embedding(4).vector_of('x');
+  const auto embedding = tiny_embedding(4);  // vector_of() returns a span into this
+  const auto expected = embedding.vector_of('x');
   for (std::size_t d = 0; d < 4; ++d)
     EXPECT_FLOAT_EQ(img.at(d, 0, 0), expected[d]);
 }
