@@ -78,6 +78,11 @@ Network load_network(std::istream& is) {
   is.read(reinterpret_cast<char*>(&depth), sizeof(depth));
   if (!is || magic != kMagic)
     throw std::runtime_error("load_network: bad magic");
+  // A corrupt depth would otherwise drive the loader through arbitrary
+  // garbage before it trips on a layer tag; no real model comes close.
+  if (depth > 1024)
+    throw std::runtime_error("load_network: implausible layer count " +
+                             std::to_string(depth));
   Network net;
   for (std::uint32_t i = 0; i < depth; ++i) {
     const std::string kind = read_string(is);
