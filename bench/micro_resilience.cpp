@@ -1,0 +1,88 @@
+// Resilience microbenchmarks (google-benchmark): the serving-path costs
+// the hardened online loop adds — CRC-32 over checkpoint-sized payloads,
+// full predictor snapshot encode/decode (the rollback mechanism), and a
+// durable checkpoint write with the last-good rotation. These bound how
+// much of a retrain interval the crash-safety machinery can eat.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/predictor.hpp"
+#include "trace/workload.hpp"
+#include "util/crc32.hpp"
+
+using namespace prionn;
+
+namespace {
+
+core::PrionnPredictor trained_predictor() {
+  core::PredictorOptions options;
+  options.image.rows = 32;
+  options.image.cols = 32;
+  options.image.transform = core::Transform::kSimple;
+  options.runtime_bins = 96;
+  options.io_bins = 16;
+  options.epochs = 1;
+  options.seed = 7;
+  core::PrionnPredictor predictor(options);
+  trace::WorkloadGenerator generator(trace::WorkloadOptions::cab(96));
+  predictor.train(trace::completed_jobs(generator.generate()));
+  return predictor;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    const std::uint32_t crc = util::crc32(payload);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void BM_SnapshotEncode(benchmark::State& state) {
+  auto predictor = trained_predictor();
+  for (auto _ : state) {
+    const std::string payload =
+        core::encode_checkpoint(predictor, core::OnlineCheckpointState{});
+    benchmark::DoNotOptimize(payload.data());
+    state.counters["bytes"] = static_cast<double>(payload.size());
+  }
+}
+
+void BM_SnapshotDecode(benchmark::State& state) {
+  auto predictor = trained_predictor();
+  const std::string payload =
+      core::encode_checkpoint(predictor, core::OnlineCheckpointState{});
+  for (auto _ : state) {
+    auto decoded = core::decode_checkpoint(payload);
+    benchmark::DoNotOptimize(&decoded.predictor);
+  }
+}
+
+void BM_CheckpointWriteFile(benchmark::State& state) {
+  auto predictor = trained_predictor();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "prionn_bench.ckpt")
+          .string();
+  for (auto _ : state) {
+    core::write_checkpoint_file(path, predictor,
+                                core::OnlineCheckpointState{});
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove(core::last_good_path(path));
+}
+
+BENCHMARK(BM_Crc32)->Arg(64 << 10)->Arg(4 << 20)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SnapshotEncode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotDecode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CheckpointWriteFile)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

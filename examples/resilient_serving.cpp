@@ -1,0 +1,92 @@
+// Resilient serving demo: stream a synthetic job queue through the
+// hardened online protocol while the fault harness injects every failure
+// class at once — NaN-poisoned retrains, torn checkpoint writes, and
+// garbage trace rows. The run must not abort: divergent retrains roll
+// back, damaged checkpoints fall back to the last-good generation, and
+// every job still receives a prediction with provenance.
+//
+//   ./build/examples/resilient_serving [jobs] [fault-seed]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/resilient_online.hpp"
+#include "trace/workload.hpp"
+#include "util/fault.hpp"
+#include "util/stats.hpp"
+
+using namespace prionn;
+
+int main(int argc, char** argv) {
+  const std::size_t n_jobs =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 800;
+  const std::uint64_t fault_seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  std::printf("generating %zu-job Cab-like workload...\n", n_jobs);
+  trace::WorkloadGenerator generator(trace::WorkloadOptions::cab(n_jobs));
+  const auto jobs = trace::completed_jobs(generator.generate());
+
+  const std::string checkpoint =
+      (std::filesystem::temp_directory_path() / "prionn_demo.ckpt").string();
+  std::filesystem::remove(checkpoint);
+  std::filesystem::remove(checkpoint + ".last-good");
+
+  core::ResilientOptions options;
+  options.online.predictor.image.rows = 32;
+  options.online.predictor.image.cols = 32;
+  options.online.predictor.image.transform = core::Transform::kSimple;
+  options.online.predictor.epochs = 3;
+  options.online.predictor.runtime_bins = 96;
+  options.online.predictor.predict_io = false;
+  options.checkpoint_path = checkpoint;
+
+  // Deterministic fault schedule: the 2nd retrain is NaN-poisoned, the
+  // 1st and 3rd checkpoint writes are torn/corrupted.
+  util::fault::FaultPlan plan;
+  plan.seed = fault_seed;
+  plan.point(util::fault::FaultPoint::kNanPoisonBatch).fire_at = {2};
+  plan.point(util::fault::FaultPoint::kCheckpointTruncate).fire_at = {1};
+  plan.point(util::fault::FaultPoint::kSnapshotCorrupt).fire_at = {3};
+  util::fault::ScopedFaultPlan armed(plan);
+
+  std::printf("serving %zu submissions with faults armed (seed %llu)...\n",
+              jobs.size(),
+              static_cast<unsigned long long>(fault_seed));
+  core::ResilientOnlineTrainer trainer(options);
+  const auto result = trainer.run(jobs);
+
+  const auto counts = result.source_counts();
+  std::printf("\n%zu accepted training events, %zu rejected retrains "
+              "(%zu rollbacks)\n",
+              result.training_events, result.rejected_retrains,
+              result.rollbacks);
+  std::printf("provenance: %zu neural-net, %zu random-forest, %zu "
+              "requested-runtime\n",
+              counts[0], counts[1], counts[2]);
+
+  std::vector<double> nn_acc;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& p = result.predictions[i];
+    if (p && p->source == core::PredictionSource::kNeuralNet)
+      nn_acc.push_back(util::relative_accuracy(jobs[i].runtime_minutes,
+                                               p->value.runtime_minutes));
+  }
+  if (!nn_acc.empty())
+    std::printf("NN runtime accuracy where the NN served: %.1f%%\n",
+                100.0 * util::mean(nn_acc));
+
+  // Prove the recovery path: the primary checkpoint was damaged by the
+  // fault plan, so a restart resumes from wherever is still loadable.
+  const auto resumed = core::resume_checkpoint(checkpoint);
+  std::printf("restart would resume from the %s checkpoint%s%s\n",
+              core::checkpoint_source_name(resumed.source),
+              resumed.primary_error.empty() ? "" : " (primary: ",
+              resumed.primary_error.empty()
+                  ? ""
+                  : (resumed.primary_error + ")").c_str());
+
+  std::filesystem::remove(checkpoint);
+  std::filesystem::remove(checkpoint + ".last-good");
+  return 0;
+}

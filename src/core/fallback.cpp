@@ -1,0 +1,71 @@
+#include "core/fallback.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+namespace prionn::core {
+
+const char* prediction_source_name(PredictionSource s) noexcept {
+  switch (s) {
+    case PredictionSource::kNeuralNet: return "neural-net";
+    case PredictionSource::kRandomForest: return "random-forest";
+    case PredictionSource::kRequested: return "requested";
+  }
+  return "?";
+}
+
+FallbackPredictor::FallbackPredictor(FallbackOptions options)
+    : options_(options) {}
+
+void FallbackPredictor::fit_baseline(
+    const std::vector<trace::JobRecord>& window) {
+  if (window.empty()) return;
+  // Fresh encoder per fit: the label ids must be a pure function of the
+  // window, not of every job this process ever saw, or a resumed run
+  // would encode the same window differently.
+  encoder_ = trace::FeatureEncoder();
+  const auto fit_head = [&](auto target) {
+    auto rf = std::make_unique<ml::RandomForestRegressor>(options_.forest);
+    rf->fit(encoder_.encode_jobs(window, target));
+    return rf;
+  };
+  runtime_rf_ = fit_head(
+      [](const trace::JobRecord& j) { return j.runtime_minutes; });
+  read_rf_ =
+      fit_head([](const trace::JobRecord& j) { return j.bytes_read; });
+  write_rf_ =
+      fit_head([](const trace::JobRecord& j) { return j.bytes_written; });
+  baseline_ready_ = true;
+}
+
+ProvenancedPrediction FallbackPredictor::predict(
+    PrionnPredictor* nn, const trace::JobRecord& job) {
+  ProvenancedPrediction out;
+  if (nn && nn->trained()) {
+    const auto confident = nn->predict_with_confidence(job.script);
+    if (confident.runtime_confidence >= options_.min_confidence &&
+        std::isfinite(confident.value.runtime_minutes)) {
+      out.value = confident.value;
+      out.source = PredictionSource::kNeuralNet;
+      out.confidence = confident.runtime_confidence;
+      return out;
+    }
+  }
+  if (baseline_ready_) {
+    const auto row = encoder_.encode_const(trace::parse_script(job.script));
+    const std::span<const double> x(row.data(), row.size());
+    out.value.runtime_minutes = std::max(1.0, runtime_rf_->predict(x));
+    out.value.bytes_read = std::max(0.0, read_rf_->predict(x));
+    out.value.bytes_written = std::max(0.0, write_rf_->predict(x));
+    out.source = PredictionSource::kRandomForest;
+    return out;
+  }
+  // Last resort: what the scheduler used before PRIONN — the user's own
+  // requested runtime, no IO estimate.
+  out.value.runtime_minutes = std::max(1.0, job.requested_minutes);
+  out.source = PredictionSource::kRequested;
+  return out;
+}
+
+}  // namespace prionn::core

@@ -1,6 +1,7 @@
 #include "core/predictor.hpp"
 
 #include "tensor/ops.hpp"
+#include "util/fault.hpp"
 
 #include <algorithm>
 #include <cstdint>
@@ -82,7 +83,7 @@ tensor::Tensor PrionnPredictor::map_batch(
                : mapper().map_batch_1d(scripts);
 }
 
-void PrionnPredictor::train(
+PrionnPredictor::TrainReport PrionnPredictor::train(
     const std::vector<trace::JobRecord>& completed_jobs) {
   if (completed_jobs.empty())
     throw std::invalid_argument("PrionnPredictor::train: no jobs");
@@ -99,19 +100,31 @@ void PrionnPredictor::train(
     read_labels.push_back(io_bins_.label_of(job.bytes_read));
     write_labels.push_back(io_bins_.label_of(job.bytes_written));
   }
-  const tensor::Tensor batch = map_batch(scripts);
+  tensor::Tensor batch = map_batch(scripts);
+  // Fault-injection point: a corrupted ingestion path or DMA error shows
+  // up as garbage in the training batch; the harness models it as NaNs so
+  // the divergence-rollback path can be driven deterministically.
+  if (util::fault::fire(util::fault::FaultPoint::kNanPoisonBatch))
+    util::fault::poison_with_nans(batch.span(),
+                                  options_.seed + training_events_);
 
   nn::FitOptions fit;
   fit.epochs = options_.epochs;
   fit.batch_size = options_.batch_size;
   fit.shuffle_seed = options_.seed + training_events_;
-  runtime_net_.fit(batch, runtime_labels, runtime_opt_, fit);
+  fit.max_gradient_norm = options_.max_gradient_norm;
+  TrainReport report;
+  report.runtime_loss =
+      runtime_net_.fit(batch, runtime_labels, runtime_opt_, fit).final_loss();
   if (options_.predict_io) {
-    read_net_.fit(batch, read_labels, read_opt_, fit);
-    write_net_.fit(batch, write_labels, write_opt_, fit);
+    report.read_loss =
+        read_net_.fit(batch, read_labels, read_opt_, fit).final_loss();
+    report.write_loss =
+        write_net_.fit(batch, write_labels, write_opt_, fit).final_loss();
   }
   trained_ = true;
   ++training_events_;
+  return report;
 }
 
 JobPrediction PrionnPredictor::predict(const std::string& script) {
@@ -191,6 +204,7 @@ void PrionnPredictor::save(std::ostream& os) const {
   write_u64(os, options_.batch_size);
   write_f64(os, options_.learning_rate);
   write_f64(os, options_.dropout);
+  write_f64(os, options_.max_gradient_norm);
   write_u64(os, options_.predict_io ? 1 : 0);
   write_u64(os, options_.seed);
   write_u64(os, trained_ ? 1 : 0);
@@ -203,6 +217,13 @@ void PrionnPredictor::save(std::ostream& os) const {
   if (options_.predict_io) {
     read_net_.save(os);
     write_net_.save(os);
+  }
+  // Optimiser moments, keyed by Network::parameters() order, so the
+  // warm-start training trajectory survives a restart bit-exactly.
+  runtime_opt_.save(os, runtime_net_.parameters());
+  if (options_.predict_io) {
+    read_opt_.save(os, read_net_.parameters());
+    write_opt_.save(os, write_net_.parameters());
   }
 }
 
@@ -224,6 +245,7 @@ PrionnPredictor PrionnPredictor::load(std::istream& is) {
   opts.batch_size = static_cast<std::size_t>(read_u64(is));
   opts.learning_rate = read_f64(is);
   opts.dropout = read_f64(is);
+  opts.max_gradient_norm = read_f64(is);
   opts.predict_io = read_u64(is) != 0;
   opts.seed = read_u64(is);
 
@@ -239,6 +261,11 @@ PrionnPredictor PrionnPredictor::load(std::istream& is) {
   if (opts.predict_io) {
     p.read_net_ = nn::Network::load(is);
     p.write_net_ = nn::Network::load(is);
+  }
+  p.runtime_opt_.load(is, p.runtime_net_.parameters());
+  if (opts.predict_io) {
+    p.read_opt_.load(is, p.read_net_.parameters());
+    p.write_opt_.load(is, p.write_net_.parameters());
   }
   return p;
 }

@@ -5,6 +5,7 @@
 // section 3.2 of the paper.
 #pragma once
 
+#include <cmath>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -31,6 +32,10 @@ struct PredictorOptions {
   double learning_rate = 3e-3;         // Adam
   double dropout = 0.05;
   bool predict_io = true;              // heads for bytes read/written
+  /// Divergence guard forwarded to nn::FitOptions: a retrain whose global
+  /// gradient L2 norm exceeds this throws nn::TrainingDiverged before the
+  /// weights are touched (0 = off).
+  double max_gradient_norm = 0.0;
   std::uint64_t seed = 1234;
 };
 
@@ -39,13 +44,22 @@ struct JobPrediction {
   double bytes_read = 0.0;
   double bytes_written = 0.0;
 
+  // Bandwidths degrade to 0 for degenerate *or non-finite* inputs: a
+  // NaN-poisoned runtime would otherwise satisfy none of the comparisons
+  // yet still propagate NaN bandwidth into the IO-aware scheduler.
   double read_bandwidth() const noexcept {
-    return runtime_minutes > 0.0 ? bytes_read / (runtime_minutes * 60.0)
-                                 : 0.0;
+    return safe_bandwidth(bytes_read);
   }
   double write_bandwidth() const noexcept {
-    return runtime_minutes > 0.0 ? bytes_written / (runtime_minutes * 60.0)
-                                 : 0.0;
+    return safe_bandwidth(bytes_written);
+  }
+
+ private:
+  double safe_bandwidth(double bytes) const noexcept {
+    if (!std::isfinite(runtime_minutes) || runtime_minutes <= 0.0)
+      return 0.0;
+    const double bw = bytes / (runtime_minutes * 60.0);
+    return std::isfinite(bw) ? bw : 0.0;
   }
 };
 
@@ -61,10 +75,22 @@ class PrionnPredictor {
   /// the corpus embedding across the cold-retrain ablation).
   void set_embedding(embed::CharEmbedding embedding);
 
+  /// Final per-head training losses of one train() call, for divergence
+  /// monitoring by the resilient serving layer.
+  struct TrainReport {
+    double runtime_loss = 0.0;
+    double read_loss = 0.0;
+    double write_loss = 0.0;
+  };
+
   /// (Re)train on completed jobs. Warm start: repeated calls continue from
   /// the current weights and optimiser state (paper section 2.3: models
-  /// are retrained rather than re-initialised).
-  void train(const std::vector<trace::JobRecord>& completed_jobs);
+  /// are retrained rather than re-initialised). Throws
+  /// nn::TrainingDiverged when the loss goes non-finite or the gradient
+  /// norm guard trips; the weights touched so far may be partially
+  /// updated, so callers that need atomicity snapshot first
+  /// (core/resilient_online does).
+  TrainReport train(const std::vector<trace::JobRecord>& completed_jobs);
 
   bool trained() const noexcept { return trained_; }
   std::size_t training_events() const noexcept { return training_events_; }
@@ -88,10 +114,12 @@ class PrionnPredictor {
   const RuntimeBins& runtime_bins() const noexcept { return runtime_bins_; }
   const IoBins& io_bins() const noexcept { return io_bins_; }
 
-  /// Checkpointing: persist the full predictor (options, embedding and
-  /// network weights) so a scheduler restart can resume predictions
-  /// without retraining. Optimiser state is not persisted; the first
-  /// retraining after load rebuilds it (Adam moments re-warm quickly).
+  /// Checkpointing: persist the full predictor — options, embedding,
+  /// network weights, dropout RNG trajectories and Adam moments — so a
+  /// scheduler restart resumes not just predictions but the *training
+  /// trajectory* bit-exactly (save → load → retrain equals never having
+  /// restarted). save(os) followed by load(is) then save(os2) produces
+  /// identical bytes.
   void save(std::ostream& os) const;
   static PrionnPredictor load(std::istream& is);
 

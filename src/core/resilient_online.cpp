@@ -1,0 +1,212 @@
+#include "core/resilient_online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/loss.hpp"
+#include "util/fault.hpp"
+
+namespace prionn::core {
+
+std::array<std::size_t, 3> ResilientResult::source_counts() const noexcept {
+  std::array<std::size_t, 3> counts{};
+  for (const auto& p : predictions)
+    if (p) ++counts[static_cast<std::size_t>(p->source)];
+  return counts;
+}
+
+ResilientOnlineTrainer::ResilientOnlineTrainer(ResilientOptions options)
+    : options_(std::move(options)),
+      predictor_(options_.online.predictor),
+      fallback_(options_.fallback) {
+  if (options_.online.retrain_interval == 0 ||
+      options_.online.train_window == 0)
+    throw std::invalid_argument(
+        "ResilientOnlineTrainer: intervals must be > 0");
+}
+
+ResilientResult ResilientOnlineTrainer::run(
+    const std::vector<trace::JobRecord>& jobs) {
+  ResilientResult result;
+  result.predictions.assign(jobs.size(), std::nullopt);
+
+  const auto later_end = [&jobs](std::size_t a, std::size_t b) {
+    return jobs[a].end_time > jobs[b].end_time;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(later_end)>
+      in_flight(later_end);
+  std::vector<std::size_t> completed;
+  completed.reserve(jobs.size());
+  const auto drain_until = [&](double submit_time) {
+    while (!in_flight.empty() &&
+           jobs[in_flight.top()].end_time <= submit_time) {
+      completed.push_back(in_flight.top());
+      in_flight.pop();
+    }
+  };
+  const auto window_jobs = [&]() {
+    const std::size_t window =
+        std::min(options_.online.train_window, completed.size());
+    std::vector<trace::JobRecord> recent;
+    recent.reserve(window);
+    for (std::size_t k = completed.size() - window; k < completed.size();
+         ++k)
+      recent.push_back(jobs[completed[k]]);
+    return recent;
+  };
+
+  bool embedding_ready =
+      options_.online.predictor.image.transform != Transform::kWord2Vec;
+  std::size_t submissions_since_train = 0;
+  std::size_t start = 0;
+
+  if (!options_.checkpoint_path.empty()) {
+    auto resumed = resume_checkpoint(options_.checkpoint_path);
+    result.resume_source = resumed.source;
+    result.resume_error = std::move(resumed.primary_error);
+    if (resumed.checkpoint) {
+      predictor_ = std::move(resumed.checkpoint->predictor);
+      const auto& st = resumed.checkpoint->state;
+      start = std::min<std::size_t>(
+          static_cast<std::size_t>(st.next_index), jobs.size());
+      submissions_since_train =
+          static_cast<std::size_t>(st.submissions_since_train);
+      embedding_ready = st.embedding_ready;
+    }
+  }
+  result.resume_index = start;
+
+  // Replay the completion bookkeeping for everything the previous
+  // incarnation already processed: pure heap push/pop, no model work.
+  for (std::size_t i = 0; i < start; ++i) {
+    drain_until(jobs[i].submit_time);
+    in_flight.push(i);
+  }
+  // The fallback baseline is not part of the checkpoint; it refits from
+  // the same completion window the checkpointed training event used,
+  // which is only fully drained at the top of iteration `start`.
+  bool baseline_refit_pending = start > 0 && predictor_.trained();
+
+  bool nn_benched = false;
+  std::size_t consecutive_rejections = 0;
+
+  for (std::size_t i = start; i < jobs.size(); ++i) {
+    const auto& job = jobs[i];
+    drain_until(job.submit_time);
+
+    if (baseline_refit_pending && !completed.empty()) {
+      fallback_.fit_baseline(window_jobs());
+      baseline_refit_pending = false;
+    }
+
+    // Identical cadence to OnlineTrainer, except a rejected first event
+    // also waits out a full interval before retrying.
+    bool due;
+    if (!predictor_.trained()) {
+      due = completed.size() >= options_.online.min_initial_completions &&
+            (result.rejected_retrains == 0 ||
+             submissions_since_train >= options_.online.retrain_interval);
+    } else {
+      due = submissions_since_train >= options_.online.retrain_interval;
+    }
+    if (due && !nn_benched && !completed.empty()) {
+      const std::vector<trace::JobRecord> recent = window_jobs();
+
+      if (!embedding_ready) {
+        std::vector<std::string> corpus;
+        const std::size_t corpus_size =
+            std::min(options_.online.embedding_corpus, completed.size());
+        corpus.reserve(corpus_size);
+        for (std::size_t k = completed.size() - corpus_size;
+             k < completed.size(); ++k)
+          corpus.push_back(jobs[completed[k]].script);
+        predictor_.fit_embedding(corpus);
+        embedding_ready = true;
+      }
+
+      // Hold back a validation batch when the accuracy guard is on.
+      std::vector<trace::JobRecord> train_set = recent;
+      std::vector<trace::JobRecord> holdback;
+      if (options_.min_holdback_accuracy > 0.0 &&
+          recent.size() > options_.holdback_size) {
+        holdback.assign(recent.end() - options_.holdback_size,
+                        recent.end());
+        train_set.assign(recent.begin(),
+                         recent.end() - options_.holdback_size);
+      }
+
+      // Snapshot before touching the weights: train() is not atomic
+      // under divergence, so rejection restores these exact bytes.
+      std::ostringstream snap(std::ios::binary);
+      predictor_.save(snap);
+      const std::string snapshot = std::move(snap).str();
+
+      bool accepted = true;
+      try {
+        const auto report = predictor_.train(train_set);
+        if (!std::isfinite(report.runtime_loss) ||
+            !std::isfinite(report.read_loss) ||
+            !std::isfinite(report.write_loss)) {
+          accepted = false;
+        } else if (!holdback.empty()) {
+          std::size_t correct = 0;
+          for (const auto& h : holdback) {
+            const auto predicted = predictor_.predict(h.script);
+            if (predictor_.runtime_bins().label_of(
+                    predicted.runtime_minutes) ==
+                predictor_.runtime_bins().label_of(h.runtime_minutes))
+              ++correct;
+          }
+          const double accuracy =
+              static_cast<double>(correct) /
+              static_cast<double>(holdback.size());
+          accepted = accuracy >= options_.min_holdback_accuracy;
+        }
+      } catch (const nn::TrainingDiverged&) {
+        accepted = false;
+      }
+
+      if (accepted) {
+        consecutive_rejections = 0;
+        ++result.training_events;
+        submissions_since_train = 0;
+        fallback_.fit_baseline(recent);
+        if (!options_.checkpoint_path.empty()) {
+          OnlineCheckpointState st;
+          st.next_index = i;
+          st.submissions_since_train = 0;
+          st.embedding_ready = embedding_ready;
+          write_checkpoint_file(options_.checkpoint_path, predictor_, st);
+          if (util::fault::fire(util::fault::FaultPoint::kCrash)) {
+            result.crashed = true;
+            result.crash_index = i;
+            return result;
+          }
+        }
+      } else {
+        std::istringstream in(snapshot, std::ios::binary);
+        predictor_ = PrionnPredictor::load(in);
+        ++result.rejected_retrains;
+        ++result.rollbacks;
+        submissions_since_train = 0;  // skip this event, retry next interval
+        if (++consecutive_rejections >=
+            options_.max_consecutive_rejections) {
+          nn_benched = true;
+          result.nn_benched = true;
+        }
+      }
+    }
+
+    result.predictions[i] =
+        fallback_.predict(nn_benched ? nullptr : &predictor_, job);
+    ++submissions_since_train;
+    in_flight.push(i);
+  }
+  return result;
+}
+
+}  // namespace prionn::core

@@ -34,13 +34,18 @@ Tensor Dropout::backward(const Tensor& grad_output) {
 
 void Dropout::save(std::ostream& os) const {
   os.write(reinterpret_cast<const char*>(&rate_), sizeof(rate_));
+  // The mask RNG is part of the training trajectory: restoring it lets a
+  // checkpointed warm-start retrain replay bit-exactly after a crash.
+  rng_.save(os);
 }
 
 std::unique_ptr<Layer> Dropout::load(std::istream& is) {
   double rate = 0.0;
   is.read(reinterpret_cast<char*>(&rate), sizeof(rate));
   if (!is) throw std::runtime_error("Dropout::load: truncated stream");
-  return std::make_unique<Dropout>(rate);
+  auto layer = std::make_unique<Dropout>(rate);
+  layer->rng_ = util::Rng::load(is);
+  return layer;
 }
 
 }  // namespace prionn::nn

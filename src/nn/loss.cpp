@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
@@ -35,11 +36,15 @@ LossResult softmax_cross_entropy(const tensor::Tensor& logits,
   }
   result.value = loss / static_cast<double>(batch);
   // Trust boundary: a NaN/Inf loss means the forward pass diverged (bad
-  // inputs or exploded weights). Fail here, at the point of production,
-  // instead of letting NaN gradients silently poison the parameters and
-  // every later prediction.
-  PRIONN_CHECK_FINITE(result.value)
-      << "softmax_cross_entropy: loss diverged over " << batch << " samples";
+  // inputs or exploded weights). Report it here, at the point of
+  // production and before any parameter update, instead of letting NaN
+  // gradients silently poison the parameters and every later prediction.
+  // Divergence is a recoverable data/environment fault (a poisoned batch,
+  // a runaway retrain), so it throws rather than aborting; the resilient
+  // serving layer rolls back to the last good snapshot.
+  if (!std::isfinite(result.value))
+    throw TrainingDiverged("softmax_cross_entropy: loss diverged over " +
+                           std::to_string(batch) + " samples");
   PRIONN_DCHECK_FINITE(result.grad.span())
       << "softmax_cross_entropy: non-finite gradient";
   return result;
@@ -65,9 +70,9 @@ LossResult mean_squared_error(const tensor::Tensor& output,
     result.grad[i] = static_cast<float>(2.0 * diff / n);
   }
   result.value = loss / n;
-  PRIONN_CHECK_FINITE(result.value)
-      << "mean_squared_error: loss diverged over " << output.size()
-      << " elements";
+  if (!std::isfinite(result.value))
+    throw TrainingDiverged("mean_squared_error: loss diverged over " +
+                           std::to_string(output.size()) + " elements");
   PRIONN_DCHECK_FINITE(result.grad.span())
       << "mean_squared_error: non-finite gradient";
   return result;

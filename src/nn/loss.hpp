@@ -5,11 +5,24 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "tensor/tensor.hpp"
 
 namespace prionn::nn {
+
+/// Thrown when training numerically diverges: a non-finite loss (NaN
+/// inputs, overflowed logits) or an exploding gradient norm. This is an
+/// environmental/data fault, not a programming error, so unlike the
+/// PRIONN_CHECK contracts it is recoverable — the online serving layer
+/// catches it and rolls the model back to the last good snapshot
+/// (DESIGN.md section 9). Thrown *before* any parameter update, so the
+/// network weights are never poisoned by the diverging step.
+class TrainingDiverged : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct LossResult {
   double value = 0.0;      // mean loss over the batch

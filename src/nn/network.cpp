@@ -1,6 +1,7 @@
 #include "nn/network.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <sstream>
@@ -75,7 +76,8 @@ Tensor Network::gather(const Tensor& batch,
 
 double Network::train_batch(const Tensor& inputs,
                             std::span<const std::uint32_t> labels,
-                            Optimizer& opt, double gradient_clip) {
+                            Optimizer& opt, double gradient_clip,
+                            double max_gradient_norm) {
   zero_gradients();
   const Tensor logits = forward(inputs, /*training=*/true);
   LossResult loss = softmax_cross_entropy(logits, labels);
@@ -83,6 +85,16 @@ double Network::train_batch(const Tensor& inputs,
   if (gradient_clip > 0.0) {
     for (Tensor* g : gradients())
       tensor::clip_inplace(g->span(), static_cast<float>(gradient_clip));
+  }
+  if (max_gradient_norm > 0.0) {
+    double sq = 0.0;
+    for (const Tensor* g : gradients())
+      for (const float v : g->span()) sq += static_cast<double>(v) * v;
+    const double norm = std::sqrt(sq);
+    if (!std::isfinite(norm) || norm > max_gradient_norm)
+      throw TrainingDiverged("Network::train_batch: gradient norm " +
+                             std::to_string(norm) + " exceeds limit " +
+                             std::to_string(max_gradient_norm));
   }
   opt.step(parameters(), gradients());
   return loss.value;
@@ -116,7 +128,8 @@ FitReport Network::fit(const Tensor& inputs,
       const Tensor x = gather(inputs, idx);
       std::vector<std::uint32_t> y(count);
       for (std::size_t i = 0; i < count; ++i) y[i] = labels[idx[i]];
-      loss_sum += train_batch(x, y, opt, options.gradient_clip);
+      loss_sum += train_batch(x, y, opt, options.gradient_clip,
+                              options.max_gradient_norm);
       ++batches;
     }
     const double epoch_loss =

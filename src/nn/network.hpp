@@ -23,6 +23,10 @@ struct FitOptions {
   bool shuffle = true;
   std::uint64_t shuffle_seed = 1;
   double gradient_clip = 0.0;  // 0 disables element-wise clipping
+  /// Divergence guard: when > 0, a mini-batch whose global gradient L2
+  /// norm exceeds this throws TrainingDiverged *before* the optimiser
+  /// step, leaving the weights untouched (0 = off).
+  double max_gradient_norm = 0.0;
   /// Learning-rate schedule: the optimiser's rate is multiplied by this
   /// factor after every epoch (1.0 = constant). The base rate is restored
   /// when fit() returns, so warm-start refits see the same schedule.
@@ -77,10 +81,13 @@ class Network {
   FitReport fit(const Tensor& inputs, std::span<const std::uint32_t> labels,
                 Optimizer& opt, const FitOptions& options = {});
 
-  /// One gradient step on one mini-batch; returns the batch loss.
+  /// One gradient step on one mini-batch; returns the batch loss. Throws
+  /// TrainingDiverged on a non-finite loss or (when max_gradient_norm > 0)
+  /// an exploding gradient, before any weight is updated.
   double train_batch(const Tensor& inputs,
                      std::span<const std::uint32_t> labels, Optimizer& opt,
-                     double gradient_clip = 0.0);
+                     double gradient_clip = 0.0,
+                     double max_gradient_norm = 0.0);
 
   /// Argmax class per sample.
   std::vector<std::uint32_t> predict_classes(const Tensor& inputs);

@@ -1,6 +1,9 @@
 #include "nn/optimizer.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "util/check.hpp"
@@ -92,6 +95,62 @@ void Adam::step(const std::vector<tensor::Tensor*>& params,
       st.v[i] = b2 * st.v[i] + (1.0f - b2) * gi * gi;
       w[i] -= alpha * st.m[i] / (std::sqrt(st.v[i]) + eps);
     }
+  }
+}
+
+namespace {
+
+void write_tensor_data(std::ostream& os, const tensor::Tensor& t) {
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size() * sizeof(float)));
+}
+
+void read_tensor_data(std::istream& is, tensor::Tensor& t) {
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size() * sizeof(float)));
+  if (!is) throw std::runtime_error("Adam::load: truncated moment tensor");
+}
+
+}  // namespace
+
+void Adam::save(std::ostream& os,
+                const std::vector<tensor::Tensor*>& params) const {
+  const auto count = static_cast<std::uint64_t>(params.size());
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const tensor::Tensor* p : params) {
+    const auto it = moments_.find(p);
+    const std::uint8_t has =
+        it != moments_.end() && it->second.m.same_shape(*p) ? 1 : 0;
+    os.write(reinterpret_cast<const char*>(&has), sizeof(has));
+    if (!has) continue;
+    const auto t = static_cast<std::uint64_t>(it->second.t);
+    os.write(reinterpret_cast<const char*>(&t), sizeof(t));
+    write_tensor_data(os, it->second.m);
+    write_tensor_data(os, it->second.v);
+  }
+}
+
+void Adam::load(std::istream& is,
+                const std::vector<tensor::Tensor*>& params) {
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is || count != params.size())
+    throw std::runtime_error("Adam::load: parameter count mismatch");
+  moments_.clear();
+  for (tensor::Tensor* p : params) {
+    std::uint8_t has = 0;
+    is.read(reinterpret_cast<char*>(&has), sizeof(has));
+    if (!is) throw std::runtime_error("Adam::load: truncated stream");
+    if (!has) continue;
+    Moments st;
+    std::uint64_t t = 0;
+    is.read(reinterpret_cast<char*>(&t), sizeof(t));
+    st.t = static_cast<std::size_t>(t);
+    st.m = tensor::Tensor(p->shape());
+    st.v = tensor::Tensor(p->shape());
+    read_tensor_data(is, st.m);
+    read_tensor_data(is, st.v);
+    moments_.emplace(p, std::move(st));
   }
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +45,14 @@ class Adam : public Optimizer {
             const std::vector<tensor::Tensor*>& grads) override;
   double learning_rate() const noexcept override { return lr_; }
   void set_learning_rate(double lr) noexcept override { lr_ = lr; }
+
+  /// Persist / restore the per-parameter moments in the order of `params`
+  /// (Network::parameters() order is deterministic, so a checkpointed
+  /// warm-start retrain resumes bit-exactly). Hyper-parameters are not
+  /// serialised; construct the Adam with the same options first.
+  void save(std::ostream& os,
+            const std::vector<tensor::Tensor*>& params) const;
+  void load(std::istream& is, const std::vector<tensor::Tensor*>& params);
 
  private:
   struct Moments {

@@ -97,4 +97,19 @@ std::array<double, ScriptFeatures::kCount> FeatureEncoder::encode(
   };
 }
 
+std::array<double, ScriptFeatures::kCount> FeatureEncoder::encode_const(
+    const ScriptFeatures& f) const noexcept {
+  return {
+      f.requested_hours,
+      f.requested_nodes,
+      f.requested_tasks,
+      user_.encode_const(f.user),
+      group_.encode_const(f.group),
+      account_.encode_const(f.account),
+      job_name_.encode_const(f.job_name),
+      working_dir_.encode_const(f.working_dir),
+      submission_dir_.encode_const(f.submission_dir),
+  };
+}
+
 }  // namespace prionn::trace

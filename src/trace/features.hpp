@@ -43,6 +43,12 @@ class FeatureEncoder {
   /// Encode (inserting new categories as they appear).
   std::array<double, ScriptFeatures::kCount> encode(const ScriptFeatures& f);
 
+  /// Encode without inserting; unseen categories map to -1. Serving paths
+  /// use this so the encoder state stays a pure function of the training
+  /// window (prediction order must not perturb the encoding).
+  std::array<double, ScriptFeatures::kCount> encode_const(
+      const ScriptFeatures& f) const noexcept;
+
   /// Convenience: parse + encode a whole trace into a Dataset whose target
   /// is extracted by `target` (e.g. runtime, bytes read...).
   template <typename TargetFn>

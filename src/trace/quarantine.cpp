@@ -1,0 +1,34 @@
+#include "trace/quarantine.hpp"
+
+#include <sstream>
+
+namespace prionn::trace {
+
+void QuarantineReport::add(std::size_t line_number, std::string reason,
+                           std::string_view text) {
+  ++quarantined_;
+  if (lines_.size() >= kMaxRetained) return;
+  QuarantinedLine q;
+  q.line_number = line_number;
+  q.reason = std::move(reason);
+  q.text = std::string(text.substr(0, kMaxTextBytes));
+  lines_.push_back(std::move(q));
+}
+
+double QuarantineReport::fraction() const noexcept {
+  const std::size_t n = total();
+  return n == 0 ? 0.0
+               : static_cast<double>(quarantined_) / static_cast<double>(n);
+}
+
+std::string QuarantineReport::summary() const {
+  std::ostringstream os;
+  os << quarantined_ << " of " << total() << " rows quarantined";
+  if (!lines_.empty()) {
+    os << " (first: line " << lines_.front().line_number << ", "
+       << lines_.front().reason << ")";
+  }
+  return os.str();
+}
+
+}  // namespace prionn::trace

@@ -1,0 +1,57 @@
+// Input quarantine for trace ingestion. Long-running serving must treat
+// malformed rows in an SWF or trace file as noise to be isolated, not a
+// reason to take the scheduler down: ingestion routes bad rows into a
+// QuarantineReport (line number, reason, raw text) and only fails the
+// whole load when the damage exceeds a configurable tolerance — past that
+// point the file is corrupt, not merely noisy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prionn::trace {
+
+struct QuarantinedLine {
+  std::size_t line_number = 0;  // 1-based line in the input stream
+  std::string reason;
+  std::string text;  // raw offending text (truncated for storage)
+};
+
+class QuarantineReport {
+ public:
+  /// Record one quarantined row. The raw text kept per row is capped so a
+  /// pathological input cannot balloon the report.
+  void add(std::size_t line_number, std::string reason,
+           std::string_view text);
+
+  /// Count one well-formed row (denominator for the tolerance fraction).
+  void count_accepted() noexcept { ++accepted_; }
+
+  std::size_t quarantined() const noexcept { return quarantined_; }
+  std::size_t accepted() const noexcept { return accepted_; }
+  std::size_t total() const noexcept { return accepted_ + quarantined_; }
+
+  /// Quarantined fraction of all observed rows (0 when nothing was seen).
+  double fraction() const noexcept;
+
+  /// Retained records (at most kMaxRetained; `quarantined()` keeps the
+  /// true count when more rows were dropped than retained).
+  const std::vector<QuarantinedLine>& lines() const noexcept {
+    return lines_;
+  }
+
+  /// One-line human-readable digest for logs.
+  std::string summary() const;
+
+  static constexpr std::size_t kMaxRetained = 100;
+  static constexpr std::size_t kMaxTextBytes = 160;
+
+ private:
+  std::vector<QuarantinedLine> lines_;
+  std::size_t quarantined_ = 0;
+  std::size_t accepted_ = 0;
+};
+
+}  // namespace prionn::trace

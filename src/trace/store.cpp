@@ -1,14 +1,44 @@
 #include "trace/store.hpp"
 
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 namespace prionn::trace {
 
 namespace {
+
 constexpr std::string_view kHeader = "PRIONN-TRACE v1";
+
+/// Malformed record: recoverable by resyncing on the next "job " line.
+class RecordError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+std::uint64_t checked_u64(std::string_view s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size())
+    throw RecordError(std::string("bad ") + what + " '" + std::string(s) +
+                      "'");
+  return v;
 }
+
+double checked_f64(std::string_view s, const char* what) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || !std::isfinite(v))
+    throw RecordError(std::string("bad ") + what + " '" + std::string(s) +
+                      "'");
+  return v;
+}
+
+}  // namespace
 
 void save_trace(std::ostream& os, const std::vector<JobRecord>& jobs) {
   os << kHeader << "\n" << jobs.size() << "\n";
@@ -36,55 +66,121 @@ void save_trace(std::ostream& os, const std::vector<JobRecord>& jobs) {
   }
 }
 
-std::vector<JobRecord> load_trace(std::istream& is) {
+std::vector<JobRecord> load_trace(std::istream& is,
+                                  const TraceLoadOptions& options,
+                                  QuarantineReport* quarantine) {
   std::string line;
   if (!std::getline(is, line) || line != kHeader)
     throw std::runtime_error("load_trace: not a PRIONN trace");
+  if (!std::getline(is, line))
+    throw std::runtime_error("load_trace: truncated record count");
   std::size_t count = 0;
-  is >> count;
-  is.ignore();  // trailing newline
+  try {
+    count = static_cast<std::size_t>(checked_u64(line, "record count"));
+  } catch (const RecordError& e) {
+    throw std::runtime_error(std::string("load_trace: ") + e.what());
+  }
 
-  const auto expect = [&](const char* key) -> std::string {
-    if (!std::getline(is, line))
-      throw std::runtime_error("load_trace: truncated at key " +
-                               std::string(key));
-    const auto space = line.find(' ');
-    if (line.substr(0, space) != key)
-      throw std::runtime_error("load_trace: expected key '" +
-                               std::string(key) + "', got '" + line + "'");
-    return space == std::string::npos ? std::string() : line.substr(space + 1);
-  };
+  QuarantineReport local_report;
+  QuarantineReport& report = quarantine ? *quarantine : local_report;
 
   std::vector<JobRecord> jobs;
-  jobs.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    JobRecord j;
-    j.job_id = std::stoull(expect("job"));
-    j.user = expect("user");
-    j.group = expect("group");
-    j.account = expect("account");
-    j.job_name = expect("name");
-    j.working_dir = expect("wdir");
-    j.submission_dir = expect("sdir");
-    j.submit_time = std::stod(expect("submit"));
-    j.requested_minutes = std::stod(expect("req_min"));
-    j.requested_nodes = static_cast<std::uint32_t>(
-        std::stoul(expect("req_nodes")));
-    j.requested_tasks = static_cast<std::uint32_t>(
-        std::stoul(expect("req_tasks")));
-    j.canceled = expect("canceled") == "1";
-    j.runtime_minutes = std::stod(expect("runtime_min"));
-    j.bytes_read = std::stod(expect("bytes_read"));
-    j.bytes_written = std::stod(expect("bytes_written"));
-    j.start_time = std::stod(expect("start"));
-    j.end_time = std::stod(expect("end"));
-    const std::size_t script_bytes = std::stoull(expect("script_bytes"));
-    j.script.resize(script_bytes);
-    is.read(j.script.data(), static_cast<std::streamsize>(script_bytes));
-    is.ignore();  // newline after the payload
-    if (!is) throw std::runtime_error("load_trace: truncated script payload");
-    jobs.push_back(std::move(j));
+  jobs.reserve(std::min<std::size_t>(count, 1u << 20));
+
+  std::size_t line_number = 2;
+  std::string pending;
+  bool have_pending = false;
+  const auto next = [&](std::string& out) -> bool {
+    if (have_pending) {
+      out = std::move(pending);
+      have_pending = false;
+      return true;
+    }
+    if (!std::getline(is, out)) return false;
+    ++line_number;
+    return true;
+  };
+
+  while (jobs.size() + report.quarantined() < count) {
+    // Resync point: every record starts with a "job " line; anything else
+    // between records is debris from a previous corrupt record.
+    std::string head;
+    if (!next(head)) {
+      report.add(line_number,
+                 "truncated: expected " + std::to_string(count) +
+                     " records, got " +
+                     std::to_string(jobs.size() + report.quarantined()),
+                 "");
+      break;
+    }
+    if (!head.starts_with("job ")) continue;
+
+    const std::size_t record_line = line_number;
+    // expect() validates the key and returns the value; the line it
+    // choked on is kept so a premature "job " header resyncs without
+    // losing the next record.
+    std::string last;
+    const auto expect = [&](const char* key) -> std::string {
+      if (!next(last))
+        throw RecordError(std::string("truncated at key ") + key);
+      const auto space = last.find(' ');
+      if (last.substr(0, space) != key)
+        throw RecordError(std::string("expected key '") + key + "', got '" +
+                          last + "'");
+      return space == std::string::npos ? std::string()
+                                        : last.substr(space + 1);
+    };
+
+    try {
+      JobRecord j;
+      j.job_id = checked_u64(head.substr(4), "job id");
+      j.user = expect("user");
+      j.group = expect("group");
+      j.account = expect("account");
+      j.job_name = expect("name");
+      j.working_dir = expect("wdir");
+      j.submission_dir = expect("sdir");
+      j.submit_time = checked_f64(expect("submit"), "submit");
+      j.requested_minutes = checked_f64(expect("req_min"), "req_min");
+      j.requested_nodes = static_cast<std::uint32_t>(
+          checked_u64(expect("req_nodes"), "req_nodes"));
+      j.requested_tasks = static_cast<std::uint32_t>(
+          checked_u64(expect("req_tasks"), "req_tasks"));
+      j.canceled = expect("canceled") == "1";
+      j.runtime_minutes = checked_f64(expect("runtime_min"), "runtime_min");
+      j.bytes_read = checked_f64(expect("bytes_read"), "bytes_read");
+      j.bytes_written =
+          checked_f64(expect("bytes_written"), "bytes_written");
+      j.start_time = checked_f64(expect("start"), "start");
+      j.end_time = checked_f64(expect("end"), "end");
+      const std::uint64_t script_bytes =
+          checked_u64(expect("script_bytes"), "script_bytes");
+      if (script_bytes > options.max_script_bytes)
+        throw RecordError("script payload of " +
+                          std::to_string(script_bytes) +
+                          " bytes exceeds the sanity cap");
+      j.script.resize(static_cast<std::size_t>(script_bytes));
+      is.read(j.script.data(),
+              static_cast<std::streamsize>(j.script.size()));
+      is.ignore();  // newline after the payload
+      if (!is && script_bytes > 0)
+        throw RecordError("truncated script payload");
+      jobs.push_back(std::move(j));
+      report.count_accepted();
+    } catch (const RecordError& e) {
+      report.add(record_line, e.what(), head);
+      // If the offending line was the next record's header, replay it.
+      if (last.starts_with("job ")) {
+        pending = std::move(last);
+        have_pending = true;
+      }
+      is.clear();  // a failed payload read must not stop the resync scan
+    }
   }
+
+  if (report.fraction() > options.max_quarantine_fraction)
+    throw std::runtime_error("load_trace: quarantine tolerance exceeded: " +
+                             report.summary());
   return jobs;
 }
 
@@ -95,10 +191,12 @@ void save_trace_file(const std::string& path,
   save_trace(os, jobs);
 }
 
-std::vector<JobRecord> load_trace_file(const std::string& path) {
+std::vector<JobRecord> load_trace_file(const std::string& path,
+                                       const TraceLoadOptions& options,
+                                       QuarantineReport* quarantine) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_trace_file: cannot open " + path);
-  return load_trace(is);
+  return load_trace(is, options, quarantine);
 }
 
 }  // namespace prionn::trace

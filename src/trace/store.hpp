@@ -2,6 +2,13 @@
 // job followed by the raw script payload (length-prefixed), so traces can
 // be inspected with a pager and diffed. Used by the examples and by tests
 // that round-trip generated workloads.
+//
+// Loading is quarantine-aware: a corrupt record (bad key, non-numeric
+// value, truncated script) is skipped — the loader resyncs on the next
+// "job " header line — and reported, instead of each record relying on
+// unchecked std::stoXX conversions that throw away the rest of the file.
+// The default tolerance is strict (any quarantined record fails the
+// load); long-running ingesters raise it via TraceLoadOptions.
 #pragma once
 
 #include <iosfwd>
@@ -9,14 +16,29 @@
 #include <vector>
 
 #include "trace/job_record.hpp"
+#include "trace/quarantine.hpp"
 
 namespace prionn::trace {
 
+struct TraceLoadOptions {
+  /// Quarantined fraction of records above which the load throws. The
+  /// store format is produced by our own writer, so unlike SWF the
+  /// default tolerance is zero: any damage is our bug or a torn write.
+  double max_quarantine_fraction = 0.0;
+  /// Upper bound on a single script payload; a corrupt length prefix must
+  /// not become an allocation bomb.
+  std::size_t max_script_bytes = 16u << 20;
+};
+
 void save_trace(std::ostream& os, const std::vector<JobRecord>& jobs);
-std::vector<JobRecord> load_trace(std::istream& is);
+std::vector<JobRecord> load_trace(std::istream& is,
+                                  const TraceLoadOptions& options = {},
+                                  QuarantineReport* quarantine = nullptr);
 
 void save_trace_file(const std::string& path,
                      const std::vector<JobRecord>& jobs);
-std::vector<JobRecord> load_trace_file(const std::string& path);
+std::vector<JobRecord> load_trace_file(const std::string& path,
+                                       const TraceLoadOptions& options = {},
+                                       QuarantineReport* quarantine = nullptr);
 
 }  // namespace prionn::trace

@@ -1,31 +1,34 @@
 #include "trace/swf.hpp"
 
 #include <algorithm>
+#include <array>
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "trace/app_catalog.hpp"
+#include "util/fault.hpp"
 #include "util/string_util.hpp"
 
 namespace prionn::trace {
 
 namespace {
 
-long long parse_ll(std::string_view field) noexcept {
-  long long v = -1;
-  const auto t = util::trim(field);
-  std::from_chars(t.data(), t.data() + t.size(), v);
-  return v;
-}
+/// SWF defines exactly 18 columns; anything shorter is a torn/corrupt row.
+constexpr std::size_t kSwfFieldCount = 18;
 
-double parse_d(std::string_view field) noexcept {
-  double v = -1.0;
+/// Checked numeric parse: the whole (trimmed) field must be consumed, so
+/// "12x" or "--" is malformed rather than silently truncated. SWF fields
+/// are numeric by definition; ints parse fine through the double path.
+std::optional<double> checked_d(std::string_view field) noexcept {
   const auto t = util::trim(field);
-  std::from_chars(t.data(), t.data() + t.size(), v);
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+  if (ec != std::errc{} || ptr != t.data() + t.size()) return std::nullopt;
   return v;
 }
 
@@ -85,8 +88,8 @@ void save_swf(std::ostream& os, const std::vector<JobRecord>& jobs,
   }
 }
 
-std::vector<JobRecord> load_swf(std::istream& is,
-                                const SwfOptions& options) {
+std::vector<JobRecord> load_swf(std::istream& is, const SwfOptions& options,
+                                QuarantineReport* quarantine) {
   const auto& catalog = default_catalog();
   util::Rng rng(options.seed);
   std::vector<JobRecord> jobs;
@@ -95,26 +98,71 @@ std::vector<JobRecord> load_swf(std::istream& is,
   // workloads do.
   std::unordered_map<long long, JobConfig> config_cache;
 
+  QuarantineReport local_report;
+  QuarantineReport& report = quarantine ? *quarantine : local_report;
+
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(is, line)) {
+    ++line_number;
+    // Fault-injection point: deterministically mangle a row into garbage
+    // so tests can drive the quarantine path end-to-end.
+    if (util::fault::fire(util::fault::FaultPoint::kIngestGarbage))
+      line = util::fault::garble_line(line, options.seed + line_number);
     const auto trimmed = util::trim(line);
     if (trimmed.empty() || trimmed.front() == ';') continue;
     const auto f = fields_of(trimmed);
-    if (f.size() < 11)
-      throw std::runtime_error("load_swf: malformed line: " + line);
+    if (f.size() < kSwfFieldCount) {
+      report.add(line_number,
+                 "short line (" + std::to_string(f.size()) + " of " +
+                     std::to_string(kSwfFieldCount) + " fields)",
+                 trimmed);
+      continue;
+    }
 
+    // All 18 SWF columns are numeric by definition; a field that fails a
+    // full-consumption parse marks the row as corrupt.
+    std::array<double, kSwfFieldCount> v{};
+    std::size_t bad_field = kSwfFieldCount;
+    for (std::size_t k = 0; k < kSwfFieldCount; ++k) {
+      const auto parsed = checked_d(f[k]);
+      if (!parsed || !std::isfinite(*parsed)) {  // "nan"/"inf" parse but
+        bad_field = k;                           // must not enter records
+        break;
+      }
+      v[k] = *parsed;
+    }
+    if (bad_field < kSwfFieldCount) {
+      report.add(line_number,
+                 "non-numeric field " + std::to_string(bad_field + 1) +
+                     " ('" + std::string(f[bad_field]) + "')",
+                 trimmed);
+      continue;
+    }
+    report.count_accepted();
+
+    // Clamp before integer casts: a finite but absurd value (1e300) must
+    // not hit undefined float-to-int behaviour.
+    const auto ll_of = [](double x) noexcept {
+      return static_cast<long long>(std::clamp(x, -9.0e18, 9.0e18));
+    };
     JobRecord j;
-    j.job_id = static_cast<std::uint64_t>(std::max(0LL, parse_ll(f[0])));
-    j.submit_time = std::max(0.0, parse_d(f[1]));
-    const double wait = parse_d(f[2]);
-    const double runtime = parse_d(f[3]);
-    const long long req_procs =
-        f.size() > 7 ? parse_ll(f[7]) : parse_ll(f[4]);
-    const double req_seconds = f.size() > 8 ? parse_d(f[8]) : -1.0;
-    const long long status = parse_ll(f[10]);
-    const long long user_id = f.size() > 11 ? parse_ll(f[11]) : -1;
-    const long long group_id = f.size() > 12 ? parse_ll(f[12]) : -1;
-    const long long app_id = f.size() > 13 ? parse_ll(f[13]) : -1;
+    j.job_id = static_cast<std::uint64_t>(
+        std::max(0LL, ll_of(v[0])));
+    j.submit_time = std::max(0.0, v[1]);
+    const double wait = v[2];
+    const double runtime = v[3];
+    const long long req_procs = ll_of(v[7]);
+    const double req_seconds = v[8];
+    const long long status = ll_of(v[10]);
+    // Entity ids feed the (user, app) cache key below; clamp them to a
+    // sane range so the key arithmetic cannot overflow.
+    const auto id_of = [&ll_of](double x) noexcept {
+      return std::clamp(ll_of(x), -1LL, 1000000000LL);
+    };
+    const long long user_id = id_of(v[11]);
+    const long long group_id = id_of(v[12]);
+    const long long app_id = id_of(v[13]);
 
     j.canceled = status == 5 || runtime < 0.0;
     j.runtime_minutes =
@@ -158,6 +206,9 @@ std::vector<JobRecord> load_swf(std::istream& is,
     }
     jobs.push_back(std::move(j));
   }
+  if (report.fraction() > options.max_quarantine_fraction)
+    throw std::runtime_error("load_swf: quarantine tolerance exceeded: " +
+                             report.summary());
   std::sort(jobs.begin(), jobs.end(),
             [](const JobRecord& a, const JobRecord& b) {
               return a.submit_time < b.submit_time;
@@ -174,10 +225,11 @@ void save_swf_file(const std::string& path,
 }
 
 std::vector<JobRecord> load_swf_file(const std::string& path,
-                                     const SwfOptions& options) {
+                                     const SwfOptions& options,
+                                     QuarantineReport* quarantine) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_swf_file: cannot open " + path);
-  return load_swf(is, options);
+  return load_swf(is, options, quarantine);
 }
 
 }  // namespace prionn::trace

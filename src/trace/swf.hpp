@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "trace/job_record.hpp"
+#include "trace/quarantine.hpp"
 
 namespace prionn::trace {
 
@@ -26,6 +27,12 @@ struct SwfOptions {
   /// Reconstruct job scripts for imported records (PRIONN needs text).
   bool synthesize_scripts = true;
   std::uint64_t seed = 17;
+  /// Input-quarantine tolerance: malformed rows (short lines, non-numeric
+  /// fields) are skipped and counted instead of failing the load; the
+  /// load throws only when the quarantined fraction of data rows
+  /// *exceeds* this (so a file that is pure garbage still fails loudly,
+  /// while a long-running ingester shrugs off scattered corruption).
+  double max_quarantine_fraction = 0.05;
 };
 
 /// Write completed + canceled jobs as SWF (status 1 / 5 respectively).
@@ -34,14 +41,18 @@ void save_swf(std::ostream& os, const std::vector<JobRecord>& jobs,
 
 /// Parse an SWF stream into JobRecords. Unknown/missing fields get the
 /// SWF convention value -1 and map to defaults; IO fields are zero (SWF
-/// does not carry IO).
+/// does not carry IO). Malformed rows are quarantined (see
+/// SwfOptions::max_quarantine_fraction); pass `quarantine` to receive
+/// the per-row report.
 std::vector<JobRecord> load_swf(std::istream& is,
-                                const SwfOptions& options = {});
+                                const SwfOptions& options = {},
+                                QuarantineReport* quarantine = nullptr);
 
 void save_swf_file(const std::string& path,
                    const std::vector<JobRecord>& jobs,
                    const SwfOptions& options = {});
 std::vector<JobRecord> load_swf_file(const std::string& path,
-                                     const SwfOptions& options = {});
+                                     const SwfOptions& options = {},
+                                     QuarantineReport* quarantine = nullptr);
 
 }  // namespace prionn::trace

@@ -1,0 +1,28 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// checking of checkpoint payloads. Table-driven, incremental: feed chunks
+// through Crc32::update() or hash a whole buffer with crc32(). The value
+// matches zlib's crc32() so snapshots can be validated by external tools.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace prionn::util {
+
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size) noexcept;
+  /// Finalised digest of everything fed so far (does not reset).
+  std::uint32_t value() const noexcept { return state_ ^ 0xFFFFFFFFu; }
+  void reset() noexcept { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience over a contiguous buffer.
+std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+std::uint32_t crc32(std::string_view bytes) noexcept;
+
+}  // namespace prionn::util

@@ -1,0 +1,102 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace prionn::util::fault {
+
+const char* fault_point_name(FaultPoint p) noexcept {
+  switch (p) {
+    case FaultPoint::kCheckpointTruncate: return "checkpoint-truncate";
+    case FaultPoint::kSnapshotCorrupt: return "snapshot-corrupt";
+    case FaultPoint::kNanPoisonBatch: return "nan-poison-batch";
+    case FaultPoint::kIngestGarbage: return "ingest-garbage";
+    case FaultPoint::kCrash: return "crash";
+    case FaultPoint::kCount: break;
+  }
+  return "unknown";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    points_[i].plan = plan.points[i];
+    std::sort(points_[i].plan.fire_at.begin(), points_[i].plan.fire_at.end());
+    // Independent stream per point so consult order at one point does not
+    // perturb another point's schedule.
+    std::uint64_t state = plan.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1));
+    points_[i].rng = Rng(splitmix64(state));
+    points_[i].occurrences = 0;
+    points_[i].fires = 0;
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_fire(FaultPoint p) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  PointState& st = points_[static_cast<std::size_t>(p)];
+  const std::uint64_t n = ++st.occurrences;
+  // The random draw happens on every occurrence (even when fire_at already
+  // decides) so the schedule of later occurrences does not depend on how
+  // earlier ones were decided.
+  const bool random_fire = st.rng.bernoulli(st.plan.probability);
+  const bool listed = std::binary_search(st.plan.fire_at.begin(),
+                                         st.plan.fire_at.end(), n);
+  if ((random_fire || listed) && st.fires < st.plan.max_fires) {
+    ++st.fires;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::occurrences(FaultPoint p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_[static_cast<std::size_t>(p)].occurrences;
+}
+
+std::uint64_t FaultInjector::fires(FaultPoint p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return points_[static_cast<std::size_t>(p)].fires;
+}
+
+void poison_with_nans(std::span<float> data, std::uint64_t salt) {
+  if (data.empty()) return;
+  constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+  Rng rng(0xBADF00D ^ salt);
+  const std::size_t count =
+      std::max<std::size_t>(1, std::min<std::size_t>(8, data.size() / 4));
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto at = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(data.size()) - 1));
+    data[at] = kNan;
+  }
+}
+
+std::string garble_line(const std::string& line, std::uint64_t salt) {
+  Rng rng(0x6A7B1E ^ salt);
+  switch (rng.uniform_int(0, 2)) {
+    case 0:  // non-numeric tokens where numbers belong
+      return "xx yy " + line;
+    case 1:  // truncation mid-record
+      return line.substr(0, line.size() / 3);
+    default: {  // binary noise
+      std::string noise = line;
+      for (std::size_t i = 0; i < noise.size(); i += 3)
+        noise[i] = static_cast<char>(rng.uniform_int(1, 255));
+      return noise;
+    }
+  }
+}
+
+}  // namespace prionn::util::fault

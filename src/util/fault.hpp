@@ -1,0 +1,128 @@
+// Deterministic fault-injection harness for resilience testing. Production
+// code consults named injection points at the places where the real world
+// fails — checkpoint writes, snapshot reads, training batches, trace
+// ingestion — and the harness decides, from a single seed, whether the
+// fault fires. Disarmed (the default) every query is a single relaxed
+// atomic load, so the hooks are free in production builds.
+//
+// Determinism contract: given the same FaultPlan (seed + per-point
+// schedule) and the same sequence of queries, the same queries fire. Tests
+// rely on this to replay identical fault schedules across runs.
+//
+//   util::fault::FaultPlan plan;
+//   plan.seed = 42;
+//   plan.point(FaultPoint::kNanPoisonBatch).fire_at = {2};  // 2nd retrain
+//   plan.point(FaultPoint::kIngestGarbage).probability = 0.05;
+//   util::fault::ScopedFaultPlan armed(plan);
+//   ... exercise the system ...
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace prionn::util::fault {
+
+enum class FaultPoint : std::size_t {
+  kCheckpointTruncate = 0,  // torn checkpoint write (file cut short)
+  kSnapshotCorrupt,         // bit flip inside a written checkpoint
+  kNanPoisonBatch,          // NaNs injected into a training batch
+  kIngestGarbage,           // trace/SWF line replaced with garbage
+  kCrash,                   // simulated process death (observed by tests)
+  kCount,
+};
+
+const char* fault_point_name(FaultPoint p) noexcept;
+
+/// Per-point schedule: a fault fires on the occurrences listed in
+/// `fire_at` (1-based), and additionally with `probability` on every
+/// other occurrence, up to `max_fires` total fires.
+struct PointPlan {
+  double probability = 0.0;
+  std::vector<std::uint64_t> fire_at;
+  std::uint64_t max_fires = UINT64_MAX;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::array<PointPlan, static_cast<std::size_t>(FaultPoint::kCount)> points;
+
+  PointPlan& point(FaultPoint p) {
+    return points[static_cast<std::size_t>(p)];
+  }
+  const PointPlan& point(FaultPoint p) const {
+    return points[static_cast<std::size_t>(p)];
+  }
+};
+
+/// Process-global injector (failpoint style: threading an injector object
+/// through every ingestion and checkpoint API would distort the very
+/// interfaces the harness is meant to test). Thread-safe; disarmed unless
+/// a plan is armed.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  void arm(const FaultPlan& plan);
+  void disarm();
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Consult an injection point; advances its occurrence counter.
+  /// Always false when disarmed.
+  bool should_fire(FaultPoint p);
+
+  /// Times `should_fire` was consulted / returned true since arm().
+  std::uint64_t occurrences(FaultPoint p) const;
+  std::uint64_t fires(FaultPoint p) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct PointState {
+    PointPlan plan;
+    Rng rng{0};
+    std::uint64_t occurrences = 0;
+    std::uint64_t fires = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  std::array<PointState, static_cast<std::size_t>(FaultPoint::kCount)>
+      points_;
+};
+
+/// Shorthand for the common call site: armed-check plus consult.
+inline bool fire(FaultPoint p) {
+  FaultInjector& inj = FaultInjector::instance();
+  return inj.armed() && inj.should_fire(p);
+}
+
+/// RAII arm/disarm for tests.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultInjector::instance().arm(plan);
+  }
+  ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+/// Deterministically overwrite a handful of elements with quiet NaNs
+/// (used by the kNanPoisonBatch hook). `salt` varies the positions.
+void poison_with_nans(std::span<float> data, std::uint64_t salt);
+
+/// Deterministically mangle a text line into ingestion garbage (used by
+/// the kIngestGarbage hook): non-numeric tokens, truncation, or binary
+/// noise depending on the salt.
+std::string garble_line(const std::string& line, std::uint64_t salt);
+
+}  // namespace prionn::util::fault

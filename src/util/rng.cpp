@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <numbers>
+#include <ostream>
+#include <stdexcept>
 
 namespace prionn::util {
 
@@ -146,6 +149,28 @@ std::size_t ZipfSampler::operator()(Rng& rng) const noexcept {
   const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
   return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
       it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+void Rng::save(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(s_.data()),
+           static_cast<std::streamsize>(sizeof(s_)));
+  os.write(reinterpret_cast<const char*>(&cached_normal_),
+           sizeof(cached_normal_));
+  const std::uint8_t has = has_cached_normal_ ? 1 : 0;
+  os.write(reinterpret_cast<const char*>(&has), sizeof(has));
+}
+
+Rng Rng::load(std::istream& is) {
+  Rng rng(0);
+  is.read(reinterpret_cast<char*>(rng.s_.data()),
+          static_cast<std::streamsize>(sizeof(rng.s_)));
+  is.read(reinterpret_cast<char*>(&rng.cached_normal_),
+          sizeof(rng.cached_normal_));
+  std::uint8_t has = 0;
+  is.read(reinterpret_cast<char*>(&has), sizeof(has));
+  if (!is) throw std::runtime_error("Rng::load: truncated stream");
+  rng.has_cached_normal_ = has != 0;
+  return rng;
 }
 
 }  // namespace prionn::util

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 namespace prionn::util {
@@ -63,6 +64,12 @@ class Rng {
 
   /// Sample an index from unnormalised non-negative weights.
   std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Serialise / restore the full generator state (xoshiro words plus the
+  /// cached Box-Muller variate) so stochastic components resume
+  /// bit-exactly from a checkpoint.
+  void save(std::ostream& os) const;
+  static Rng load(std::istream& is);
 
  private:
   std::array<std::uint64_t, 4> s_{};
