@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "ml/random_forest.hpp"
+#include "obs/obs.hpp"
 #include "trace/features.hpp"
 #include "trace/store.hpp"
 #include "trace/workload.hpp"
@@ -202,6 +203,12 @@ std::vector<std::optional<double>> online_random_forest(
     in_flight.push(i);
   }
   return predictions;
+}
+
+void export_telemetry(const std::string& stem) {
+  obs::export_telemetry_files(stem);
+  std::printf("\ntelemetry: %s.prom / %s.{metrics,events,trace}.jsonl\n",
+              stem.c_str(), stem.c_str());
 }
 
 std::string accuracy_row(const std::vector<double>& accuracies) {

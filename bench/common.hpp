@@ -60,6 +60,12 @@ std::string accuracy_row(const std::vector<double>& accuracies);
 std::vector<sched::ScheduledJob> simulate_schedule(
     const std::vector<trace::JobRecord>& jobs, std::uint32_t nodes = 1296);
 
+/// Export the process telemetry state (Prometheus text plus
+/// metrics/events/trace JSONL) next to `<stem>.{prom,*.jsonl}` and print
+/// where it went. The fig benches call this last, so every reproduction
+/// run leaves a machine-readable account of its serving metrics.
+void export_telemetry(const std::string& stem);
+
 /// The Random-Forest baseline run under the same online protocol PRIONN
 /// uses (predict at submission; refit every 100 submissions on the 500
 /// most recent completions, Table-1 features). `target` extracts the

@@ -62,5 +62,6 @@ int main(int argc, char** argv) {
   std::printf("\nFig. 8b — runtime relative accuracy:\n%s",
               table.to_string().c_str());
   std::printf("\nexpected shape: PRIONN > RF >> user request\n");
+  bench::export_telemetry("fig08_telemetry");
   return 0;
 }

@@ -79,5 +79,6 @@ int main(int argc, char** argv) {
   std::printf("\nFig. 11b — turnaround relative accuracy:\n%s",
               table.to_string().c_str());
   std::printf("\nexpected shape: PRIONN clearly above user-requested\n");
+  bench::export_telemetry("fig11_telemetry");
   return 0;
 }

@@ -1,21 +1,55 @@
 // Resilient serving demo: stream a synthetic job queue through the
 // hardened online protocol while the fault harness injects every failure
-// class at once — NaN-poisoned retrains, torn checkpoint writes, and
-// garbage trace rows. The run must not abort: divergent retrains roll
-// back, damaged checkpoints fall back to the last-good generation, and
-// every job still receives a prediction with provenance.
+// class at once — NaN-poisoned retrains, torn checkpoint writes, garbage
+// trace rows. The run must not abort: divergent retrains roll back,
+// damaged checkpoints fall back to the last-good generation, and every
+// job still receives a prediction with provenance.
+//
+// The run is fully instrumented: it ends with a telemetry summary table
+// read back from the metrics registry and exports the whole telemetry
+// state (Prometheus text, metrics/events/trace JSONL) next to
+// `prionn_serving_telemetry.*`.
 //
 //   ./build/examples/resilient_serving [jobs] [fault-seed]
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include "core/resilient_online.hpp"
+#include "obs/obs.hpp"
+#include "trace/store.hpp"
 #include "trace/workload.hpp"
 #include "util/fault.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
 
 using namespace prionn;
+
+namespace {
+
+/// Scribble over every `stride`-th record's submit field so the
+/// quarantine path of the loader has real work on this run.
+void corrupt_trace_file(const std::string& path, std::size_t stride) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  std::string text = std::move(buffer).str();
+  std::size_t pos = 0, seen = 0;
+  while ((pos = text.find("\nsubmit ", pos)) != std::string::npos) {
+    pos += 8;  // past "\nsubmit "
+    if (++seen % stride == 0) text.insert(pos, "x");
+  }
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os << text;
+}
+
+std::string count_of(const char* name) {
+  return std::to_string(obs::registry().counter(name).value());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t n_jobs =
@@ -25,10 +59,24 @@ int main(int argc, char** argv) {
 
   std::printf("generating %zu-job Cab-like workload...\n", n_jobs);
   trace::WorkloadGenerator generator(trace::WorkloadOptions::cab(n_jobs));
-  const auto jobs = trace::completed_jobs(generator.generate());
+  const auto generated = trace::completed_jobs(generator.generate());
 
-  const std::string checkpoint =
-      (std::filesystem::temp_directory_path() / "prionn_demo.ckpt").string();
+  // Round-trip the workload through the trace store with a handful of
+  // rows scribbled over, so ingestion exercises the quarantine path (and
+  // emits its ingest telemetry) before serving starts.
+  const auto tmp_dir = std::filesystem::temp_directory_path();
+  const std::string trace_path = (tmp_dir / "prionn_demo.trace").string();
+  trace::save_trace_file(trace_path, generated);
+  corrupt_trace_file(trace_path, 50);
+  trace::TraceLoadOptions load_options;
+  load_options.max_quarantine_fraction = 0.05;
+  trace::QuarantineReport quarantine;
+  const auto jobs =
+      trace::load_trace_file(trace_path, load_options, &quarantine);
+  std::printf("ingest: %s\n", quarantine.summary().c_str());
+  std::filesystem::remove(trace_path);
+
+  const std::string checkpoint = (tmp_dir / "prionn_demo.ckpt").string();
   std::filesystem::remove(checkpoint);
   std::filesystem::remove(checkpoint + ".last-good");
 
@@ -85,6 +133,45 @@ int main(int argc, char** argv) {
               resumed.primary_error.empty()
                   ? ""
                   : (resumed.primary_error + ")").c_str());
+
+  // --- end-of-run telemetry, read back from the registry -------------
+  if (!obs::kEnabled)
+    std::printf("\n(telemetry compiled out: PRIONN_OBS=OFF — the summary "
+                "below reads as zeros)\n");
+  auto& predict_latency =
+      obs::registry().latency("prionn_predict_latency_ns");
+  util::Table table({"telemetry", "value"});
+  table.add_row({"predictions served",
+                 count_of("prionn_predictions_total")});
+  table.add_row({"  from neural net",
+                 count_of("prionn_predictions_nn_total")});
+  table.add_row({"  from random forest",
+                 count_of("prionn_predictions_rf_total")});
+  table.add_row({"  from user request",
+                 count_of("prionn_predictions_requested_total")});
+  table.add_row({"retrains accepted", count_of("prionn_retrains_total")});
+  table.add_row({"retrains rejected",
+                 count_of("prionn_retrains_rejected_total")});
+  table.add_row({"rollbacks", count_of("prionn_rollbacks_total")});
+  table.add_row({"checkpoint writes",
+                 count_of("prionn_checkpoint_writes_total")});
+  table.add_row({"trace rows accepted",
+                 count_of("prionn_trace_rows_total")});
+  table.add_row({"trace rows quarantined",
+                 count_of("prionn_quarantined_rows_total")});
+  table.add_row({"predict latency p50 (us)",
+                 util::fmt(predict_latency.quantile(0.5) / 1e3, 1)});
+  table.add_row({"predict latency p99 (us)",
+                 util::fmt(predict_latency.quantile(0.99) / 1e3, 1)});
+  std::printf("\n%s", table.to_string().c_str());
+
+  obs::export_telemetry_files("prionn_serving_telemetry");
+  std::printf("\ntelemetry exported: prionn_serving_telemetry.prom, "
+              ".metrics.jsonl, .events.jsonl, .trace.jsonl "
+              "(%zu events, %llu spans)\n",
+              obs::event_log().size(),
+              static_cast<unsigned long long>(
+                  obs::trace_buffer().total_recorded()));
 
   std::filesystem::remove(checkpoint);
   std::filesystem::remove(checkpoint + ".last-good");

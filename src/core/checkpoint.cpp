@@ -7,6 +7,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "util/crc32.hpp"
 #include "util/fault.hpp"
 
@@ -122,6 +123,11 @@ std::string last_good_path(const std::string& path) {
 void write_checkpoint_file(const std::string& path,
                            const PrionnPredictor& predictor,
                            const OnlineCheckpointState& state) {
+  PRIONN_OBS_SPAN("checkpoint.write");
+  PRIONN_OBS_TIME("prionn_checkpoint_write_latency_ns",
+                  "durable checkpoint write incl. last-good rotation");
+  PRIONN_OBS_INC("prionn_checkpoint_writes_total",
+                 "durable checkpoint generations written");
   const std::string payload = encode_checkpoint(predictor, state);
   const std::string tmp = path + ".tmp";
   {
@@ -173,6 +179,7 @@ const char* checkpoint_source_name(CheckpointSource s) noexcept {
 }
 
 ResumeResult resume_checkpoint(const std::string& path) {
+  PRIONN_OBS_SPAN("checkpoint.resume");
   ResumeResult result;
   const auto try_load =
       [](const std::string& p,
@@ -194,15 +201,21 @@ ResumeResult resume_checkpoint(const std::string& path) {
   if (auto primary = try_load(path, error)) {
     result.checkpoint = std::move(primary);
     result.source = CheckpointSource::kPrimary;
+    PRIONN_OBS_INC("prionn_checkpoint_resume_primary_total",
+                   "resumes served by the primary checkpoint");
     return result;
   }
   result.primary_error = error;
   if (auto fallback = try_load(last_good_path(path), error)) {
     result.checkpoint = std::move(fallback);
     result.source = CheckpointSource::kLastGood;
+    PRIONN_OBS_INC("prionn_checkpoint_resume_lastgood_total",
+                   "resumes that fell back to the last-good generation");
     return result;
   }
   result.source = CheckpointSource::kNone;
+  PRIONN_OBS_INC("prionn_checkpoint_resume_cold_total",
+                 "resume attempts that found no usable checkpoint");
   return result;
 }
 

@@ -4,7 +4,30 @@
 #include <cmath>
 #include <span>
 
+#include "obs/obs.hpp"
+
 namespace prionn::core {
+
+namespace {
+
+void count_provenance(PredictionSource source) {
+  switch (source) {
+    case PredictionSource::kNeuralNet:
+      PRIONN_OBS_INC("prionn_predictions_nn_total",
+                     "predictions served by the neural net");
+      break;
+    case PredictionSource::kRandomForest:
+      PRIONN_OBS_INC("prionn_predictions_rf_total",
+                     "predictions served by the random-forest fallback");
+      break;
+    case PredictionSource::kRequested:
+      PRIONN_OBS_INC("prionn_predictions_requested_total",
+                     "predictions served from the user's request");
+      break;
+  }
+}
+
+}  // namespace
 
 const char* prediction_source_name(PredictionSource s) noexcept {
   switch (s) {
@@ -21,6 +44,11 @@ FallbackPredictor::FallbackPredictor(FallbackOptions options)
 void FallbackPredictor::fit_baseline(
     const std::vector<trace::JobRecord>& window) {
   if (window.empty()) return;
+  PRIONN_OBS_SPAN("fallback.fit_baseline");
+  PRIONN_OBS_TIME("prionn_rf_refit_latency_ns",
+                  "random-forest baseline refit wall time");
+  PRIONN_OBS_INC("prionn_rf_refits_total",
+                 "random-forest baseline refits");
   // Fresh encoder per fit: the label ids must be a pure function of the
   // window, not of every job this process ever saw, or a resumed run
   // would encode the same window differently.
@@ -41,6 +69,11 @@ void FallbackPredictor::fit_baseline(
 
 ProvenancedPrediction FallbackPredictor::predict(
     PrionnPredictor* nn, const trace::JobRecord& job) {
+  PRIONN_OBS_SPAN("serve.predict");
+  PRIONN_OBS_TIME("prionn_predict_latency_ns",
+                  "per-job prediction latency");
+  PRIONN_OBS_INC("prionn_predictions_total",
+                 "predictions served at submission time");
   ProvenancedPrediction out;
   if (nn && nn->trained()) {
     const auto confident = nn->predict_with_confidence(job.script);
@@ -49,6 +82,7 @@ ProvenancedPrediction FallbackPredictor::predict(
       out.value = confident.value;
       out.source = PredictionSource::kNeuralNet;
       out.confidence = confident.runtime_confidence;
+      count_provenance(out.source);
       return out;
     }
   }
@@ -59,12 +93,14 @@ ProvenancedPrediction FallbackPredictor::predict(
     out.value.bytes_read = std::max(0.0, read_rf_->predict(x));
     out.value.bytes_written = std::max(0.0, write_rf_->predict(x));
     out.source = PredictionSource::kRandomForest;
+    count_provenance(out.source);
     return out;
   }
   // Last resort: what the scheduler used before PRIONN — the user's own
   // requested runtime, no IO estimate.
   out.value.runtime_minutes = std::max(1.0, job.requested_minutes);
   out.source = PredictionSource::kRequested;
+  count_provenance(out.source);
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace prionn::core {
@@ -89,9 +90,14 @@ OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
         embedding_ready = true;
       }
 
-      stopwatch.reset();
-      predictor_.train(recent);
-      result.train_seconds += stopwatch.seconds();
+      {
+        PRIONN_OBS_SPAN("online.retrain");
+        stopwatch.reset();
+        predictor_.train(recent);
+        result.train_seconds += stopwatch.seconds();
+      }
+      PRIONN_OBS_INC("prionn_retrains_total",
+                     "training events of the online protocol");
       ++result.training_events;
       submissions_since_train = 0;
     }
@@ -99,7 +105,12 @@ OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
     if (predictor_.trained()) {
       stopwatch.reset();
       result.predictions[i] = predictor_.predict(job.script);
-      result.predict_seconds += stopwatch.seconds();
+      const std::uint64_t elapsed_ns = stopwatch.elapsed_ns();
+      result.predict_seconds += static_cast<double>(elapsed_ns) / 1e9;
+      PRIONN_OBS_INC("prionn_predictions_total",
+                     "predictions served at submission time");
+      PRIONN_OBS_OBSERVE_NS("prionn_predict_latency_ns",
+                            "per-job prediction latency", elapsed_ns);
     }
     ++submissions_since_train;
     in_flight.push(i);

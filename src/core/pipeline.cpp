@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -38,6 +39,9 @@ TurnaroundEval evaluate_turnaround(
   if (jobs.size() != predictions.size())
     throw std::invalid_argument(
         "evaluate_turnaround: jobs/predictions size mismatch");
+  PRIONN_OBS_SPAN("phase2.turnaround");
+  PRIONN_OBS_TIME("prionn_turnaround_eval_latency_ns",
+                  "turnaround replay over one job set");
 
   const auto sim_jobs = to_sim_jobs(jobs);
   const auto user_runtime = [&](std::uint64_t id) {
@@ -138,6 +142,7 @@ SystemIoEval evaluate_system_io(
     const std::vector<sched::IoInterval>& actual,
     const std::vector<sched::IoInterval>& predicted,
     const Phase2Options& options) {
+  PRIONN_OBS_SPAN("phase2.system_io");
   sched::IoTimeline actual_tl(options.bucket_seconds);
   sched::IoTimeline predicted_tl(options.bucket_seconds);
   actual_tl.add(actual);

@@ -1,5 +1,6 @@
 #include "core/predictor.hpp"
 
+#include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 #include "util/fault.hpp"
 
@@ -59,6 +60,9 @@ const ScriptImageMapper& PrionnPredictor::mapper() const {
 
 void PrionnPredictor::fit_embedding(const std::vector<std::string>& scripts) {
   if (options_.image.transform != Transform::kWord2Vec) return;
+  PRIONN_OBS_SPAN("train.embedding_fit");
+  PRIONN_OBS_INC("prionn_embedding_fits_total",
+                 "one-off word2vec corpus fits");
   embed::Word2VecOptions w2v;
   w2v.dimension = options_.word2vec_dimension;
   w2v.seed = options_.seed ^ 0x77327665ULL;  // "w2ve"
@@ -78,6 +82,9 @@ void PrionnPredictor::set_embedding(embed::CharEmbedding embedding) {
 
 tensor::Tensor PrionnPredictor::map_batch(
     const std::vector<std::string>& scripts) const {
+  // The script->image transform (incl. the embedding lookup for word2vec)
+  // is the first leg of the per-job hot path.
+  PRIONN_OBS_SPAN("predict.map_image");
   const bool two_d = options_.model == ModelKind::kCnn2d;
   return two_d ? mapper().map_batch_2d(scripts)
                : mapper().map_batch_1d(scripts);
@@ -85,6 +92,9 @@ tensor::Tensor PrionnPredictor::map_batch(
 
 PrionnPredictor::TrainReport PrionnPredictor::train(
     const std::vector<trace::JobRecord>& completed_jobs) {
+  PRIONN_OBS_SPAN("train.fit");
+  PRIONN_OBS_TIME("prionn_train_latency_ns",
+                  "wall time of one train() call (all heads)");
   if (completed_jobs.empty())
     throw std::invalid_argument("PrionnPredictor::train: no jobs");
   if (options_.image.transform == Transform::kWord2Vec && !mapper_)
@@ -137,6 +147,7 @@ PrionnPredictor::predict_with_confidence(const std::string& script) {
     throw std::logic_error("PrionnPredictor::predict: model not trained");
   const tensor::Tensor batch = map_batch({script});
 
+  PRIONN_OBS_SPAN("predict.forward");
   ConfidentPrediction out;
   const auto head = [&](nn::Network& net) {
     const tensor::Tensor probs = net.predict_probabilities(batch);
@@ -275,6 +286,7 @@ std::vector<JobPrediction> PrionnPredictor::predict(
   if (!trained_)
     throw std::logic_error("PrionnPredictor::predict: model not trained");
   const tensor::Tensor batch = map_batch(scripts);
+  PRIONN_OBS_SPAN("predict.forward");
   const auto runtime_cls = runtime_net_.predict_classes(batch);
   std::vector<std::uint32_t> read_cls, write_cls;
   if (options_.predict_io) {

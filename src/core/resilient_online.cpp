@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "nn/loss.hpp"
+#include "obs/obs.hpp"
 #include "util/fault.hpp"
+#include "util/timer.hpp"
 
 namespace prionn::core {
 
@@ -94,6 +96,31 @@ ResilientResult ResilientOnlineTrainer::run(
   bool nn_benched = false;
   std::size_t consecutive_rejections = 0;
 
+  // Telemetry bookkeeping: one structured event per retrain attempt and
+  // one per prediction window (the submissions between retrain
+  // boundaries), so the event log reconstructs the serving history.
+  std::uint64_t retrain_attempts = 0;
+  std::uint64_t checkpoint_generation = 0;
+  std::uint64_t window_first_job = start;
+  std::size_t window_predictions = 0;
+  std::array<std::size_t, 3> window_sources{};
+  const auto flush_window = [&](std::size_t next_first) {
+    if (window_predictions > 0) {
+      obs::WindowEvent w;
+      w.window_id = retrain_attempts;
+      w.first_job_index = window_first_job;
+      w.predictions = window_predictions;
+      w.from_neural_net = window_sources[0];
+      w.from_random_forest = window_sources[1];
+      w.from_requested = window_sources[2];
+      w.checkpoint_generation = checkpoint_generation;
+      obs::emit(w);
+    }
+    window_predictions = 0;
+    window_sources = {};
+    window_first_job = next_first;
+  };
+
   for (std::size_t i = start; i < jobs.size(); ++i) {
     const auto& job = jobs[i];
     drain_until(job.submit_time);
@@ -114,6 +141,9 @@ ResilientResult ResilientOnlineTrainer::run(
       due = submissions_since_train >= options_.online.retrain_interval;
     }
     if (due && !nn_benched && !completed.empty()) {
+      flush_window(i);
+      PRIONN_OBS_SPAN("serve.retrain");
+      util::Timer retrain_timer;
       const std::vector<trace::JobRecord> recent = window_jobs();
 
       if (!embedding_ready) {
@@ -141,18 +171,31 @@ ResilientResult ResilientOnlineTrainer::run(
 
       // Snapshot before touching the weights: train() is not atomic
       // under divergence, so rejection restores these exact bytes.
-      std::ostringstream snap(std::ios::binary);
-      predictor_.save(snap);
-      const std::string snapshot = std::move(snap).str();
+      std::string snapshot;
+      {
+        PRIONN_OBS_SPAN("serve.snapshot");
+        std::ostringstream snap(std::ios::binary);
+        predictor_.save(snap);
+        snapshot = std::move(snap).str();
+      }
+
+      obs::RetrainEvent retrain_event;
+      retrain_event.window_id = retrain_attempts;
+      retrain_event.job_index = i;
+      retrain_event.window_size = recent.size();
+      retrain_event.holdback_size = holdback.size();
 
       bool accepted = true;
       try {
         const auto report = predictor_.train(train_set);
+        retrain_event.loss = {report.runtime_loss, report.read_loss,
+                              report.write_loss};
         if (!std::isfinite(report.runtime_loss) ||
             !std::isfinite(report.read_loss) ||
             !std::isfinite(report.write_loss)) {
           accepted = false;
         } else if (!holdback.empty()) {
+          PRIONN_OBS_SPAN("serve.holdback_eval");
           std::size_t correct = 0;
           for (const auto& h : holdback) {
             const auto predicted = predictor_.predict(h.script);
@@ -164,6 +207,7 @@ ResilientResult ResilientOnlineTrainer::run(
           const double accuracy =
               static_cast<double>(correct) /
               static_cast<double>(holdback.size());
+          retrain_event.holdback_accuracy = accuracy;
           accepted = accuracy >= options_.min_holdback_accuracy;
         }
       } catch (const nn::TrainingDiverged&) {
@@ -174,6 +218,8 @@ ResilientResult ResilientOnlineTrainer::run(
         consecutive_rejections = 0;
         ++result.training_events;
         submissions_since_train = 0;
+        PRIONN_OBS_INC("prionn_retrains_total",
+                       "training events of the online protocol");
         fallback_.fit_baseline(recent);
         if (!options_.checkpoint_path.empty()) {
           OnlineCheckpointState st;
@@ -181,31 +227,59 @@ ResilientResult ResilientOnlineTrainer::run(
           st.submissions_since_train = 0;
           st.embedding_ready = embedding_ready;
           write_checkpoint_file(options_.checkpoint_path, predictor_, st);
+          ++checkpoint_generation;
           if (util::fault::fire(util::fault::FaultPoint::kCrash)) {
+            retrain_event.accepted = true;
+            retrain_event.checkpoint_generation = checkpoint_generation;
+            retrain_event.duration_ms =
+                static_cast<double>(retrain_timer.elapsed_ns()) / 1e6;
+            obs::emit(retrain_event);
+            ++retrain_attempts;
             result.crashed = true;
             result.crash_index = i;
             return result;
           }
         }
       } else {
-        std::istringstream in(snapshot, std::ios::binary);
-        predictor_ = PrionnPredictor::load(in);
+        {
+          PRIONN_OBS_SPAN("serve.rollback");
+          std::istringstream in(snapshot, std::ios::binary);
+          predictor_ = PrionnPredictor::load(in);
+        }
         ++result.rejected_retrains;
         ++result.rollbacks;
+        PRIONN_OBS_INC("prionn_retrains_rejected_total",
+                       "retrain attempts rejected by the guards");
+        PRIONN_OBS_INC("prionn_rollbacks_total",
+                       "weight rollbacks to the pre-retrain snapshot");
         submissions_since_train = 0;  // skip this event, retry next interval
         if (++consecutive_rejections >=
             options_.max_consecutive_rejections) {
           nn_benched = true;
           result.nn_benched = true;
+          PRIONN_OBS_INC("prionn_nn_benched_total",
+                         "times the neural net was benched for the run");
         }
       }
+      retrain_event.accepted = accepted;
+      retrain_event.rollback = !accepted;
+      retrain_event.benched = nn_benched;
+      retrain_event.checkpoint_generation = checkpoint_generation;
+      retrain_event.duration_ms =
+          static_cast<double>(retrain_timer.elapsed_ns()) / 1e6;
+      obs::emit(retrain_event);
+      ++retrain_attempts;
     }
 
     result.predictions[i] =
         fallback_.predict(nn_benched ? nullptr : &predictor_, job);
+    ++window_predictions;
+    ++window_sources[static_cast<std::size_t>(
+        result.predictions[i]->source)];
     ++submissions_since_train;
     in_flight.push(i);
   }
+  flush_window(jobs.size());
   return result;
 }
 

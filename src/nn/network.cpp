@@ -9,8 +9,10 @@
 
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
+#include "obs/obs.hpp"
 #include "tensor/ops.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace prionn::nn {
 
@@ -31,13 +33,47 @@ Shape Network::output_shape(Shape input) const {
   return input;
 }
 
+namespace {
+
+// Per-layer-kind accumulated time. Only reached when layer timing is on,
+// so a mutex-guarded registry lookup per layer is acceptable; the
+// always-on path below pays one relaxed atomic load per forward/backward.
+void account_layer_ns(const char* direction, const std::string& kind,
+                      std::uint64_t ns) {
+  obs::registry()
+      .counter("prionn_nn_" + std::string(direction) + "_ns_total_" + kind,
+               "accumulated " + std::string(direction) +
+                   " time in this layer kind, nanoseconds")
+      .inc(ns);
+}
+
+}  // namespace
+
 Tensor Network::forward(const Tensor& batch, bool training) {
+  if (obs::layer_timing_enabled()) {
+    Tensor x = batch;
+    for (const auto& l : layers_) {
+      util::Timer timer;
+      x = l->forward(x, training);
+      account_layer_ns("forward", l->kind(), timer.elapsed_ns());
+    }
+    return x;
+  }
   Tensor x = batch;
   for (const auto& l : layers_) x = l->forward(x, training);
   return x;
 }
 
 Tensor Network::backward(const Tensor& grad_output) {
+  if (obs::layer_timing_enabled()) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      util::Timer timer;
+      g = (*it)->backward(g);
+      account_layer_ns("backward", (*it)->kind(), timer.elapsed_ns());
+    }
+    return g;
+  }
   Tensor g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
     g = (*it)->backward(g);

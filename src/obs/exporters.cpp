@@ -1,0 +1,110 @@
+#include "obs/exporters.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace prionn::obs {
+
+namespace {
+
+void help_and_type(std::ostream& os, const std::string& name,
+                   const std::string& help, const char* type) {
+  if (!help.empty()) os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_text(const Registry& registry) {
+  const auto snap = registry.snapshot();
+  std::ostringstream os;
+  for (const auto& c : snap.counters) {
+    help_and_type(os, c.name, c.help, "counter");
+    os << c.name << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    help_and_type(os, g.name, g.help, "gauge");
+    os << g.name << " " << json_number(g.value) << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    help_and_type(os, h.name, h.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << h.name << "_bucket{le=\"";
+      if (i < h.upper_bounds.size())
+        os << json_number(h.upper_bounds[i]);
+      else
+        os << "+Inf";
+      os << "\"} " << cumulative << "\n";
+    }
+    os << h.name << "_sum " << json_number(h.sum) << "\n";
+    os << h.name << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+std::string json_snapshot(const Registry& registry) {
+  const auto snap = registry.snapshot();
+  std::ostringstream os;
+  for (const auto& c : snap.counters) {
+    JsonObject o;
+    o["name"] = c.name;
+    o["kind"] = std::string("counter");
+    o["value"] = static_cast<double>(c.value);
+    os << json_serialize(o) << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    JsonObject o;
+    o["name"] = g.name;
+    o["kind"] = std::string("gauge");
+    o["value"] = g.value;
+    os << json_serialize(o) << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    JsonObject o;
+    o["name"] = h.name;
+    o["kind"] = std::string("histogram");
+    o["upper_bounds"] = h.upper_bounds;
+    std::vector<double> buckets;
+    buckets.reserve(h.buckets.size());
+    for (const auto b : h.buckets) buckets.push_back(static_cast<double>(b));
+    o["buckets"] = std::move(buckets);
+    o["count"] = static_cast<double>(h.count);
+    o["sum"] = h.sum;
+    os << json_serialize(o) << "\n";
+  }
+  return os.str();
+}
+
+void export_telemetry_files(const std::string& stem, const Registry& registry,
+                            const EventLog& events,
+                            const TraceBuffer& spans) {
+  const auto open = [](const std::string& path) {
+    std::ofstream os(path, std::ios::trunc);
+    if (!os)
+      throw std::runtime_error("export_telemetry_files: cannot open " + path);
+    return os;
+  };
+  {
+    auto os = open(stem + ".prom");
+    os << prometheus_text(registry);
+  }
+  {
+    auto os = open(stem + ".metrics.jsonl");
+    os << json_snapshot(registry);
+  }
+  {
+    auto os = open(stem + ".events.jsonl");
+    events.export_jsonl(os);
+  }
+  {
+    auto os = open(stem + ".trace.jsonl");
+    spans.export_chrome_jsonl(os);
+  }
+}
+
+}  // namespace prionn::obs

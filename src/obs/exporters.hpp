@@ -1,0 +1,34 @@
+// Telemetry exporters: Prometheus text exposition (0.0.4 format) and a
+// JSONL metrics snapshot, plus file-writing conveniences used by the
+// serving loops, the resilient_serving example, and the BENCH binaries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace prionn::obs {
+
+/// Prometheus text exposition of a registry snapshot: `# HELP` / `# TYPE`
+/// preambles, `_bucket{le="..."}` / `_sum` / `_count` series per
+/// histogram. Deterministic (sorted by metric name).
+std::string prometheus_text(const Registry& registry = Registry::global());
+
+/// One JSON object per metric per line: {"name":...,"kind":...,...}.
+std::string json_snapshot(const Registry& registry = Registry::global());
+
+/// Write the full telemetry state of the process next to `stem`:
+///   <stem>.prom        Prometheus text dump
+///   <stem>.metrics.jsonl  metrics snapshot
+///   <stem>.events.jsonl   structured event log
+///   <stem>.trace.jsonl    chrome://tracing span export
+/// Throws std::runtime_error when a file cannot be opened.
+void export_telemetry_files(const std::string& stem,
+                            const Registry& registry = Registry::global(),
+                            const EventLog& events = EventLog::global(),
+                            const TraceBuffer& spans = TraceBuffer::global());
+
+}  // namespace prionn::obs

@@ -1,0 +1,281 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace prionn::obs {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no Inf/NaN
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that still round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+std::string json_serialize(const JsonObject& object) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : object) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += json_quote(key);
+    out.push_back(':');
+    if (const auto* d = std::get_if<double>(&value)) {
+      out += json_number(*d);
+    } else if (const auto* b = std::get_if<bool>(&value)) {
+      out += *b ? "true" : "false";
+    } else if (const auto* s = std::get_if<std::string>(&value)) {
+      out += json_quote(*s);
+    } else {
+      const auto& arr = std::get<std::vector<double>>(value);
+      out.push_back('[');
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        if (i) out.push_back(',');
+        out += json_number(arr[i]);
+      }
+      out.push_back(']');
+    }
+  }
+  out.push_back('}');
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonObject> parse_object() {
+    skip_ws();
+    if (!consume('{')) return std::nullopt;
+    JsonObject out;
+    skip_ws();
+    if (consume('}')) return finish(std::move(out));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      out[*std::move(key)] = *std::move(value);
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return finish(std::move(out));
+      return std::nullopt;
+    }
+  }
+
+ private:
+  std::optional<JsonObject> finish(JsonObject out) {
+    skip_ws();
+    return pos_ == text_.size() ? std::optional<JsonObject>(std::move(out))
+                                : std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return std::nullopt;
+      return JsonValue(*std::move(s));
+    }
+    if (c == '[') {
+      ++pos_;
+      std::vector<double> arr;
+      skip_ws();
+      if (consume(']')) return JsonValue(std::move(arr));
+      while (true) {
+        skip_ws();
+        auto n = parse_number();
+        if (!n) return std::nullopt;
+        arr.push_back(*n);
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return JsonValue(std::move(arr));
+        return std::nullopt;
+      }
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue(false);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      // null only appears where a non-finite number was serialised.
+      pos_ += 4;
+      return JsonValue(std::nan(""));
+    }
+    auto n = parse_number();
+    if (!n) return std::nullopt;
+    return JsonValue(*n);
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return std::nullopt;
+            }
+            // Only the control-character escapes our writer emits.
+            if (code > 0x7F) return std::nullopt;
+            out.push_back(static_cast<char>(code));
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<double> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+'))
+      ++pos_;
+    if (pos_ == start) return std::nullopt;
+    double value = 0.0;
+    const auto* begin = text_.data() + start;
+    const auto* end = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) return std::nullopt;
+    return value;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonObject> json_parse(std::string_view text) {
+  return Parser(text).parse_object();
+}
+
+std::optional<double> json_number_field(const JsonObject& o,
+                                        const std::string& key) {
+  const auto it = o.find(key);
+  if (it == o.end()) return std::nullopt;
+  const auto* d = std::get_if<double>(&it->second);
+  return d ? std::optional<double>(*d) : std::nullopt;
+}
+
+std::optional<bool> json_bool_field(const JsonObject& o,
+                                    const std::string& key) {
+  const auto it = o.find(key);
+  if (it == o.end()) return std::nullopt;
+  const auto* b = std::get_if<bool>(&it->second);
+  return b ? std::optional<bool>(*b) : std::nullopt;
+}
+
+std::optional<std::string> json_string_field(const JsonObject& o,
+                                             const std::string& key) {
+  const auto it = o.find(key);
+  if (it == o.end()) return std::nullopt;
+  const auto* s = std::get_if<std::string>(&it->second);
+  return s ? std::optional<std::string>(*s) : std::nullopt;
+}
+
+std::optional<std::vector<double>> json_array_field(const JsonObject& o,
+                                                    const std::string& key) {
+  const auto it = o.find(key);
+  if (it == o.end()) return std::nullopt;
+  const auto* a = std::get_if<std::vector<double>>(&it->second);
+  return a ? std::optional<std::vector<double>>(*a) : std::nullopt;
+}
+
+}  // namespace prionn::obs

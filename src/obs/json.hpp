@@ -1,0 +1,45 @@
+// Minimal JSON support for the telemetry layer: a writer for flat objects
+// (string / number / bool / array-of-number fields) and the matching
+// parser, enough for the JSONL event-log schema to round-trip in tests
+// without an external dependency. Not a general JSON library: nested
+// objects are rejected on parse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace prionn::obs {
+
+using JsonValue =
+    std::variant<double, bool, std::string, std::vector<double>>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Escape and quote a JSON string.
+std::string json_quote(std::string_view s);
+
+/// Shortest round-trip decimal for a double ("17 significant digits when
+/// needed"); integers print without a fractional part.
+std::string json_number(double v);
+
+/// Serialise a flat object with deterministic (sorted-key) field order.
+std::string json_serialize(const JsonObject& object);
+
+/// Parse one flat JSON object; nullopt on malformed input or nesting.
+std::optional<JsonObject> json_parse(std::string_view text);
+
+/// Typed field access helpers (nullopt when absent or wrong type).
+std::optional<double> json_number_field(const JsonObject& o,
+                                        const std::string& key);
+std::optional<bool> json_bool_field(const JsonObject& o,
+                                    const std::string& key);
+std::optional<std::string> json_string_field(const JsonObject& o,
+                                             const std::string& key);
+std::optional<std::vector<double>> json_array_field(const JsonObject& o,
+                                                    const std::string& key);
+
+}  // namespace prionn::obs

@@ -1,0 +1,205 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace prionn::obs {
+
+LatencyHistogram::LatencyHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("LatencyHistogram: need at least one bound");
+  for (std::size_t i = 0; i + 1 < bounds_.size(); ++i)
+    if (!(bounds_[i] < bounds_[i + 1]))
+      throw std::invalid_argument(
+          "LatencyHistogram: bounds must be strictly increasing");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(buckets());
+  for (std::size_t i = 0; i < buckets(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::observe(double x) noexcept {
+  // NaN compares false against every bound and lands in +Inf; acceptable
+  // for a metric (the contract layer guards real NaN propagation).
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::upper_bound(std::size_t i) const {
+  if (i >= buckets())
+    throw std::out_of_range("LatencyHistogram::upper_bound");
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+std::uint64_t LatencyHistogram::bucket_count(std::size_t i) const {
+  if (i >= buckets())
+    throw std::out_of_range("LatencyHistogram::bucket_count");
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::quantile(double p) const noexcept {
+  std::vector<std::uint64_t> snap(buckets());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets(); ++i) {
+    snap[i] = counts_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets(); ++i) {
+    if (snap[i] == 0) continue;
+    const auto below = static_cast<double>(cumulative);
+    cumulative += snap[i];
+    if (static_cast<double>(cumulative) >= target) {
+      if (i >= bounds_.size()) return bounds_.back();  // +Inf bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double inside = std::clamp(
+          (target - below) / static_cast<double>(snap[i]), 0.0, 1.0);
+      return lo + inside * (bounds_[i] - lo);
+    }
+  }
+  return bounds_.back();
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (bounds_ != other.bounds_)
+    throw std::invalid_argument("LatencyHistogram::merge: bounds differ");
+  for (std::size_t i = 0; i < buckets(); ++i)
+    counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  const double add = other.sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + add,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (std::size_t i = 0; i < buckets(); ++i)
+    counts_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> LatencyHistogram::default_latency_bounds_ns() {
+  // 1 us to 10.24 s doubling: covers a sub-ms CNN forward pass up to a
+  // multi-second retrain in one bucket layout.
+  std::vector<double> bounds;
+  for (double b = 1e3; b <= 10.24e9; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name, Kind kind,
+                                          const std::string& help) {
+  auto [it, inserted] = entries_.try_emplace(name);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.help = help;
+  } else if (e.kind != kind) {
+    throw std::logic_error("Registry: metric '" + name +
+                           "' re-registered with a different type");
+  }
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mu_);
+  Entry& e = find_or_create(name, Kind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard lock(mu_);
+  Entry& e = find_or_create(name, Kind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds,
+                                      const std::string& help) {
+  std::lock_guard lock(mu_);
+  Entry& e = find_or_create(name, Kind::kHistogram, help);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<LatencyHistogram>(std::move(upper_bounds));
+  } else {
+    // The handle is shared; silently differing bucket layouts would make
+    // the exported series incoherent.
+    for (std::size_t i = 0; i < upper_bounds.size(); ++i)
+      if (i + 1 >= e.histogram->buckets() ||
+          e.histogram->upper_bound(i) != upper_bounds[i])
+        throw std::logic_error("Registry: histogram '" + name +
+                               "' re-registered with different bounds");
+    if (upper_bounds.size() + 1 != e.histogram->buckets())
+      throw std::logic_error("Registry: histogram '" + name +
+                             "' re-registered with different bounds");
+  }
+  return *e.histogram;
+}
+
+LatencyHistogram& Registry::latency(const std::string& name,
+                                    const std::string& help) {
+  return histogram(name, LatencyHistogram::default_latency_bounds_ns(), help);
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  std::lock_guard lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({name, e.help, e.counter->value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({name, e.help, e.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        Snapshot::HistogramRow row;
+        row.name = name;
+        row.help = e.help;
+        for (std::size_t i = 0; i + 1 < e.histogram->buckets(); ++i)
+          row.upper_bounds.push_back(e.histogram->upper_bound(i));
+        for (std::size_t i = 0; i < e.histogram->buckets(); ++i)
+          row.buckets.push_back(e.histogram->bucket_count(i));
+        row.count = e.histogram->count();
+        row.sum = e.histogram->sum();
+        snap.histograms.push_back(std::move(row));
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+void Registry::reset_all() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace prionn::obs

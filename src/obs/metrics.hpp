@@ -1,0 +1,165 @@
+// Thread-safe metrics registry for the serving stack: counters, gauges,
+// and fixed-bucket latency histograms. The design splits registration
+// (named lookup, mutex-protected, done once per call site) from the hot
+// path (a handle reference whose increment is a single relaxed atomic
+// op), so instrumented loops never touch a lock or a string.
+//
+// Handles returned by the registry are stable for the registry's
+// lifetime: metrics live in node-based storage and are never removed,
+// only reset.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prionn::obs {
+
+/// Monotonic event count. Relaxed ordering: totals are exact (atomic RMW)
+/// but carry no synchronises-with edges, which is all a metric needs.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, bytes in use).
+class Gauge {
+ public:
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  void add(double dx) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + dx,
+                                         std::memory_order_relaxed,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Cumulative histogram with fixed upper bounds (Prometheus-style: bucket
+/// i counts observations <= bounds[i], plus an implicit +Inf bucket).
+/// observe() is lock-free: one relaxed RMW per bucket walk plus a CAS for
+/// the running sum.
+class LatencyHistogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing; an +Inf
+  /// bucket is appended implicitly.
+  explicit LatencyHistogram(std::vector<double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  /// Finite bounds plus the implicit +Inf bucket.
+  std::size_t buckets() const noexcept { return bounds_.size() + 1; }
+  /// Upper bound of bucket i (+Inf for the last one).
+  double upper_bound(std::size_t i) const;
+  /// Count of observations that landed in bucket i (non-cumulative).
+  std::uint64_t bucket_count(std::size_t i) const;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Estimated p-quantile (p clamped to [0, 1]) by linear interpolation
+  /// within the containing bucket (lower edge of bucket 0 is 0, the
+  /// natural floor for latencies). Observations in the +Inf bucket report
+  /// the largest finite bound. NaN when empty. The snapshot is taken with
+  /// relaxed loads; concurrent observers make it approximate, never UB.
+  double quantile(double p) const noexcept;
+
+  /// Fold `other` into this histogram (per-thread histogram combination).
+  /// Throws std::invalid_argument when the bounds differ.
+  void merge(const LatencyHistogram& other);
+
+  void reset() noexcept;
+
+  /// Geometric default for nanosecond latencies: 1 us .. ~10 s.
+  static std::vector<double> default_latency_bounds_ns();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric store. Lookup interns the metric on first use and returns
+/// a stable reference; re-registering a name with a different metric type
+/// (or different histogram bounds) throws std::logic_error.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  LatencyHistogram& histogram(const std::string& name,
+                              std::vector<double> upper_bounds,
+                              const std::string& help = "");
+  /// Histogram with default_latency_bounds_ns().
+  LatencyHistogram& latency(const std::string& name,
+                            const std::string& help = "");
+
+  /// Point-in-time copy for exporters, sorted by name.
+  struct Snapshot {
+    struct CounterRow {
+      std::string name, help;
+      std::uint64_t value = 0;
+    };
+    struct GaugeRow {
+      std::string name, help;
+      double value = 0.0;
+    };
+    struct HistogramRow {
+      std::string name, help;
+      std::vector<double> upper_bounds;       // finite bounds
+      std::vector<std::uint64_t> buckets;     // per-bucket, incl. +Inf
+      std::uint64_t count = 0;
+      double sum = 0.0;
+    };
+    std::vector<CounterRow> counters;
+    std::vector<GaugeRow> gauges;
+    std::vector<HistogramRow> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Zero every metric (bench/test isolation); handles stay valid.
+  void reset_all();
+
+  /// The process-wide registry every instrumented module reports into.
+  static Registry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+  Entry& find_or_create(const std::string& name, Kind kind,
+                        const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace prionn::obs

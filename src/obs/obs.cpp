@@ -1,0 +1,19 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+
+namespace prionn::obs {
+
+namespace {
+std::atomic<bool> g_layer_timing{false};
+}  // namespace
+
+void set_layer_timing(bool on) noexcept {
+  g_layer_timing.store(on, std::memory_order_relaxed);
+}
+
+bool layer_timing_raw() noexcept {
+  return g_layer_timing.load(std::memory_order_relaxed);
+}
+
+}  // namespace prionn::obs

@@ -1,0 +1,122 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+
+#include "util/timer.hpp"
+
+namespace prionn::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Small stable ordinal per thread; OS thread ids recycle and are wide.
+std::uint32_t this_thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::record(const SpanRecord& span) {
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(span);
+  } else {
+    ring_[next_] = span;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceBuffer::total_recorded() const {
+  std::lock_guard lock(mu_);
+  return total_;
+}
+
+std::vector<SpanRecord> TraceBuffer::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, `next_` points at the oldest entry.
+  const std::size_t start = ring_.size() < capacity_ ? 0 : next_;
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void TraceBuffer::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceBuffer::export_chrome_jsonl(std::ostream& os) const {
+  auto spans = snapshot();
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  // Timestamps are microseconds in the trace-event format. Emitting the
+  // steady-clock value directly keeps events from separate exports of the
+  // same process comparable.
+  for (const auto& s : spans) {
+    const double begin_us = static_cast<double>(s.start_ns) / 1e3;
+    const double end_us =
+        static_cast<double>(s.start_ns + s.duration_ns) / 1e3;
+    os << "{\"name\":\"" << s.name << "\",\"ph\":\"B\",\"ts\":" << begin_us
+       << ",\"pid\":0,\"tid\":" << s.thread_id
+       << ",\"args\":{\"depth\":" << s.depth << "}}\n";
+    os << "{\"name\":\"" << s.name << "\",\"ph\":\"E\",\"ts\":" << end_us
+       << ",\"pid\":0,\"tid\":" << s.thread_id << "}\n";
+  }
+}
+
+TraceBuffer& TraceBuffer::global() {
+  static TraceBuffer buffer;
+  return buffer;
+}
+
+Span::Span(const char* name) noexcept : name_(name) {
+  if (!enabled()) return;
+  active_ = true;
+  depth_ = t_span_depth++;
+  start_ns_ = util::Timer::now_ns();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  --t_span_depth;
+  SpanRecord record;
+  record.name = name_;
+  record.start_ns = start_ns_;
+  record.duration_ns = util::Timer::now_ns() - start_ns_;
+  record.thread_id = this_thread_ordinal();
+  record.depth = depth_;
+  TraceBuffer::global().record(record);
+}
+
+}  // namespace prionn::obs

@@ -1,0 +1,87 @@
+// Scoped tracing: RAII span timers feeding a bounded in-memory ring
+// buffer, exportable as chrome://tracing-compatible begin/end events
+// (one JSON object per line). Spans nest — a per-thread depth counter is
+// recorded so a flattened export still reconstructs the call tree — and
+// the ring holds the most recent `capacity` completed spans, dropping the
+// oldest; `total_recorded()` keeps the true count.
+//
+// Span construction checks the process-wide runtime switch
+// (obs::set_enabled) once with a relaxed load; a disabled span does no
+// clock read and no buffer work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace prionn::obs {
+
+/// Process-wide runtime switch for span collection (and the event log).
+/// Defaults to on in PRIONN_OBS builds; flip off to measure the disabled
+/// fast path. Relaxed atomics: toggling mid-run is safe, not synchronised.
+void set_enabled(bool on) noexcept;
+bool enabled() noexcept;
+
+struct SpanRecord {
+  const char* name = "";       // interned literal; callers pass literals
+  std::uint64_t start_ns = 0;  // steady-clock timestamp
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread_id = 0;  // small per-thread ordinal, not the OS tid
+  std::uint32_t depth = 0;      // nesting level at the time of the span
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  void record(const SpanRecord& span);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Completed spans currently retained (<= capacity).
+  std::size_t size() const;
+  /// All spans ever recorded, including those the ring has since dropped.
+  std::uint64_t total_recorded() const;
+
+  /// Retained spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  void clear();
+
+  /// chrome://tracing "JSON Lines" export: a B (begin) and E (end) event
+  /// pair per span, microsecond timestamps, ordered by begin time.
+  void export_chrome_jsonl(std::ostream& os) const;
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// The process-wide buffer the PRIONN_OBS_SPAN macro reports into.
+  static TraceBuffer& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<SpanRecord> ring_;
+  std::size_t next_ = 0;        // ring write cursor
+  std::uint64_t total_ = 0;
+};
+
+/// RAII span: times its scope and records into the global buffer on
+/// destruction. Only literals should be passed as `name` — the record
+/// stores the pointer, not a copy.
+class Span {
+ public:
+  explicit Span(const char* name) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace prionn::obs

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sched/io_timeline.hpp"
 
 namespace prionn::sched {
@@ -36,6 +37,11 @@ void IoAwareSimulator::start_job(std::size_t queue_pos) {
   const IoSimJob& job = queue_[queue_pos];
   free_nodes_ -= job.base.nodes;
   predicted_io_in_use_ += job.predicted_bandwidth;
+  PRIONN_OBS_INC("prionn_sched_jobs_started_total",
+                 "jobs dispatched by the IO-aware scheduler");
+  PRIONN_OBS_GAUGE_SET("prionn_sched_predicted_io_in_use",
+                       "predicted bandwidth of the running set",
+                       predicted_io_in_use_);
   Running r;
   r.id = job.base.id;
   r.nodes = job.base.nodes;
@@ -62,7 +68,11 @@ void IoAwareSimulator::try_start_jobs() {
           "IoAwareSimulator: job larger than the machine");
     if (head.base.nodes > free_nodes_) break;
     if (!io_fits(head.predicted_bandwidth)) {
-      if (head_waiting_since_ < 0.0) head_waiting_since_ = now_;
+      if (head_waiting_since_ < 0.0) {
+        head_waiting_since_ = now_;
+        PRIONN_OBS_INC("prionn_sched_io_holds_total",
+                       "queue heads held back by the IO-admission gate");
+      }
       if (now_ - head_waiting_since_ < options_.max_io_hold) break;
       // Starvation guard: admit despite the IO budget.
     }
@@ -126,6 +136,9 @@ void IoAwareSimulator::advance_to(double time) {
             ScheduledJob{r.id, r.submit, r.start, r.actual_end});
         free_nodes_ += r.nodes;
         predicted_io_in_use_ -= r.predicted_bw;
+        PRIONN_OBS_GAUGE_SET("prionn_sched_predicted_io_in_use",
+                             "predicted bandwidth of the running set",
+                             predicted_io_in_use_);
         running_[i] = running_.back();
         running_.pop_back();
       } else {
@@ -138,6 +151,7 @@ void IoAwareSimulator::advance_to(double time) {
 }
 
 IoAwareResult IoAwareSimulator::run(const std::vector<IoSimJob>& jobs) {
+  PRIONN_OBS_SPAN("sched.run");
   for (const auto& job : jobs) {
     if (job.base.submit_time < now_)
       throw std::invalid_argument("IoAwareSimulator: out-of-order submit");

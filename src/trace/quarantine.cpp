@@ -2,11 +2,15 @@
 
 #include <sstream>
 
+#include "obs/obs.hpp"
+
 namespace prionn::trace {
 
 void QuarantineReport::add(std::size_t line_number, std::string reason,
                            std::string_view text) {
   ++quarantined_;
+  PRIONN_OBS_INC("prionn_quarantined_rows_total",
+                 "trace rows quarantined at ingest");
   if (lines_.size() >= kMaxRetained) return;
   QuarantinedLine q;
   q.line_number = line_number;

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "obs/obs.hpp"
+
 namespace prionn::trace {
 
 namespace {
@@ -69,6 +71,7 @@ void save_trace(std::ostream& os, const std::vector<JobRecord>& jobs) {
 std::vector<JobRecord> load_trace(std::istream& is,
                                   const TraceLoadOptions& options,
                                   QuarantineReport* quarantine) {
+  PRIONN_OBS_SPAN("trace.load");
   std::string line;
   if (!std::getline(is, line) || line != kHeader)
     throw std::runtime_error("load_trace: not a PRIONN trace");
@@ -178,6 +181,8 @@ std::vector<JobRecord> load_trace(std::istream& is,
     }
   }
 
+  PRIONN_OBS_ADD("prionn_trace_rows_total",
+                 "trace rows accepted at ingest", jobs.size());
   if (report.fraction() > options.max_quarantine_fraction)
     throw std::runtime_error("load_trace: quarantine tolerance exceeded: " +
                              report.summary());
@@ -196,7 +201,24 @@ std::vector<JobRecord> load_trace_file(const std::string& path,
                                        QuarantineReport* quarantine) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_trace_file: cannot open " + path);
-  return load_trace(is, options, quarantine);
+  // The report may be a caller-owned accumulator spanning several files;
+  // the ingest event covers only the rows of this pass.
+  QuarantineReport local_report;
+  QuarantineReport& report = quarantine ? *quarantine : local_report;
+  const std::size_t quarantined_before = report.quarantined();
+  auto jobs = load_trace(is, options, &report);
+  const std::size_t quarantined = report.quarantined() - quarantined_before;
+  obs::IngestEvent ev;
+  ev.source = path;
+  ev.rows_accepted = jobs.size();
+  ev.rows_quarantined = quarantined;
+  const std::size_t seen = jobs.size() + quarantined;
+  ev.quarantined_fraction =
+      seen == 0 ? 0.0
+                : static_cast<double>(quarantined) /
+                      static_cast<double>(seen);
+  obs::emit(ev);
+  return jobs;
 }
 
 }  // namespace prionn::trace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -58,6 +59,38 @@ void Histogram::add(double x) noexcept {
 
 void Histogram::add(std::span<const double> xs) noexcept {
   for (const double x : xs) add(x);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (log_scale_ != other.log_scale_ || lo_ != other.lo_ ||
+      hi_ != other.hi_ || counts_.size() != other.counts_.size())
+    throw std::invalid_argument(
+        "Histogram::merge: mismatched histogram configuration");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::quantile(double p) const noexcept {
+  if (total_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total_);
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto below = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      // Interpolate within the bucket, treating its mass as uniform.
+      const double inside =
+          std::clamp((target - below) / static_cast<double>(counts_[i]),
+                     0.0, 1.0);
+      return bin_low(i) + inside * (bin_high(i) - bin_low(i));
+    }
+  }
+  return bin_high(counts_.size() - 1);  // unreachable when counts sum to total_
 }
 
 double Histogram::bin_low(std::size_t bin) const {

@@ -26,6 +26,17 @@ class Histogram {
   std::size_t underflow() const noexcept { return underflow_; }
   std::size_t overflow() const noexcept { return overflow_; }
 
+  /// Fold another histogram's counts into this one. Both histograms must
+  /// share the same configuration (scale, range, bucket count); used to
+  /// combine per-thread histograms after a parallel fill.
+  void merge(const Histogram& other);
+
+  /// Value below which a fraction `p` (clamped to [0, 1]) of the samples
+  /// fall, linearly interpolated inside the containing bucket. Samples
+  /// outside [lo, hi) were clamped into the edge buckets by add(), so the
+  /// result is always within [lo, hi]. Returns NaN for an empty histogram.
+  double quantile(double p) const noexcept;
+
   /// Index of the bucket that would receive x; clamps to the edge buckets.
   std::size_t bin_of(double x) const noexcept;
   /// Representative value (geometric/arithmetic centre) of a bucket.

@@ -1,7 +1,11 @@
-// Wall-clock timing for the paper's cost figures (Figs. 3, 4, 6).
+// Monotonic timing for the paper's cost figures (Figs. 3, 4, 6) and the
+// observability layer. Deliberately steady_clock, never system_clock: the
+// bench numbers and trace spans must not jump when NTP slews the wall
+// clock mid-run.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace prionn::util {
 
@@ -15,6 +19,23 @@ class Timer {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
   double milliseconds() const noexcept { return seconds() * 1e3; }
+
+  /// Integer nanoseconds since construction/reset; the resolution the
+  /// span tracer and latency histograms work in.
+  std::uint64_t elapsed_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Monotonic nanosecond timestamp (epoch: the steady clock's own).
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now().time_since_epoch())
+            .count());
+  }
 
  private:
   using clock = std::chrono::steady_clock;

@@ -410,6 +410,55 @@ TEST(Histogram, InvalidConstruction) {
                std::invalid_argument);
 }
 
+TEST(Histogram, MergeFoldsCountsAndChecksConfiguration) {
+  auto a = u::Histogram::linear(0.0, 10.0, 10);
+  auto b = u::Histogram::linear(0.0, 10.0, 10);
+  a.add(1.5);
+  b.add(1.5);
+  b.add(-5.0);   // underflow
+  b.add(100.0);  // overflow
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+  EXPECT_EQ(a.overflow(), 1u);
+  auto linear_other_range = u::Histogram::linear(0.0, 20.0, 10);
+  EXPECT_THROW(a.merge(linear_other_range), std::invalid_argument);
+  auto log_same_range = u::Histogram::logarithmic(1.0, 10.0, 10);
+  auto lin_same_range = u::Histogram::linear(1.0, 10.0, 10);
+  EXPECT_THROW(lin_same_range.merge(log_same_range), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  auto h = u::Histogram::linear(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(2.5);
+  h.add(4.5);
+  h.add(6.5);
+  // target = 0.5 * 4 = 2 samples: the upper edge of the second occupied
+  // bucket, [2, 3).
+  EXPECT_NEAR(h.quantile(0.5), 3.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 7.0, 1e-9);
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileOfEmptyIsNaN) {
+  const auto h = u::Histogram::linear(0.0, 1.0, 4);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+}
+
+TEST(Histogram, QuantileSingleBucket) {
+  auto h = u::Histogram::linear(0.0, 8.0, 1);
+  h.add(3.0);
+  h.add(5.0);
+  // All mass in one [0, 8) bucket: quantiles interpolate linearly over it.
+  EXPECT_NEAR(h.quantile(0.5), 4.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 8.0, 1e-9);
+  // p outside [0, 1] clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
 TEST(Histogram, RenderContainsCounts) {
   auto h = u::Histogram::linear(0.0, 1.0, 2);
   h.add(0.25);

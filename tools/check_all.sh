@@ -6,7 +6,7 @@
 #   tools/check_all.sh format tidy     # just the static stages
 #   tools/check_all.sh address thread  # just those sanitizer suites
 #
-# Stages: format, tidy, release, address, undefined, thread.
+# Stages: format, tidy, release, obs-off, address, undefined, thread.
 # Stages whose tooling is unavailable (no clang-format / clang-tidy on
 # PATH) are reported as SKIPPED and do not fail the gate; sanitizer and
 # test stages always run and must pass.
@@ -19,7 +19,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 suppressions="$repo_root/tools/sanitizer-suppressions.txt"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(format tidy release address undefined thread)
+  stages=(format tidy release obs-off address undefined thread)
 fi
 
 declare -a results=()
@@ -69,12 +69,23 @@ for stage in "${stages[@]}"; do
       fi
       ;;
     release)   run_suite release off ;;
+    obs-off)
+      # Telemetry compiled out: the obs classes still build and their
+      # tests still pass, but every instrumentation call site is gone.
+      note "configure+build+ctest: obs-off (PRIONN_OBS=OFF)"
+      cmake -B build-check-obs-off -S . \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DPRIONN_OBS=OFF >/dev/null
+      cmake --build build-check-obs-off -j "$jobs"
+      ctest --test-dir build-check-obs-off --output-on-failure -j "$jobs"
+      record "PASS  obs-off"
+      ;;
     address)   run_suite asan address ;;
     undefined) run_suite ubsan undefined ;;
     thread)    run_suite tsan thread ;;
     *)
       echo "unknown stage: $stage" >&2
-      echo "stages: format tidy release address undefined thread" >&2
+      echo "stages: format tidy release obs-off address undefined thread" >&2
       exit 2
       ;;
   esac
