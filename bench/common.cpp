@@ -20,7 +20,8 @@ namespace prionn::bench {
 namespace {
 
 std::size_t env_or(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
+  // Single-threaded bench startup; no concurrent setenv anywhere in-tree.
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
 }
 

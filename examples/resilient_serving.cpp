@@ -39,7 +39,9 @@ void corrupt_trace_file(const std::string& path, std::size_t stride) {
   std::size_t pos = 0, seen = 0;
   while ((pos = text.find("\nsubmit ", pos)) != std::string::npos) {
     pos += 8;  // past "\nsubmit "
-    if (++seen % stride == 0) text.insert(pos, "x");
+    // insert(pos, count, char) rather than insert(pos, "x"): the char*
+    // overload trips GCC 12's -Wrestrict false positive (PR 105651).
+    if (++seen % stride == 0) text.insert(pos, 1, 'x');
   }
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   os << text;

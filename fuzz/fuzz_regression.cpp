@@ -1,0 +1,100 @@
+// Corpus-replay regression driver. Replays every committed corpus entry
+// under fuzz/corpus/<harness>/ through the matching entry point, on any
+// compiler and any build type — this is what keeps the fuzz substrate a
+// permanent regression suite on toolchains without libFuzzer. A harness
+// with an empty or missing corpus fails the run: corpora are part of the
+// contract, not an optional extra.
+//
+// Usage:
+//   fuzz_regression                     replay the committed corpora
+//   fuzz_regression <root>              replay corpora under <root>
+//   fuzz_regression <harness> <file>..  replay specific inputs (crash
+//                                       reproduction / triage)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/fuzz_entry.hpp"
+
+#ifndef PRIONN_FUZZ_CORPUS_DIR
+#define PRIONN_FUZZ_CORPUS_DIR "fuzz/corpus"
+#endif
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::uint8_t> slurp(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(is),
+                                   std::istreambuf_iterator<char>());
+}
+
+const prionn::fuzz::Harness* find_harness(const std::string& name) {
+  for (const auto& h : prionn::fuzz::harnesses())
+    if (name == h.name) return &h;
+  return nullptr;
+}
+
+int replay_files(const prionn::fuzz::Harness& h,
+                 const std::vector<fs::path>& files) {
+  for (const auto& f : files) {
+    const auto bytes = slurp(f);
+    std::fprintf(stderr, "  %s: %s (%zu bytes)\n", h.name,
+                 f.filename().string().c_str(), bytes.size());
+    h.entry(bytes.data(), bytes.size());  // a crash here IS the failure
+  }
+  return 0;
+}
+
+int replay_corpus(const fs::path& root) {
+  bool failed = false;
+  std::size_t total = 0;
+  for (const auto& h : prionn::fuzz::harnesses()) {
+    const fs::path dir = root / h.name;
+    std::vector<fs::path> files;
+    if (fs::is_directory(dir))
+      for (const auto& entry : fs::directory_iterator(dir))
+        if (entry.is_regular_file()) files.push_back(entry.path());
+    if (files.empty()) {
+      std::fprintf(stderr, "FAIL %s: no corpus entries under %s\n", h.name,
+                   dir.string().c_str());
+      failed = true;
+      continue;
+    }
+    std::sort(files.begin(), files.end());  // deterministic replay order
+    for (const auto& f : files) {
+      const auto bytes = slurp(f);
+      h.entry(bytes.data(), bytes.size());
+    }
+    std::fprintf(stderr, "ok   %-18s %3zu entries\n", h.name, files.size());
+    total += files.size();
+  }
+  if (failed) return 1;
+  std::fprintf(stderr, "replayed %zu corpus entries, no crashes\n", total);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3) {
+    const auto* h = find_harness(argv[1]);
+    if (!h) {
+      std::fprintf(stderr, "unknown harness '%s'; known:", argv[1]);
+      for (const auto& known : prionn::fuzz::harnesses())
+        std::fprintf(stderr, " %s", known.name);
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    std::vector<fs::path> files(argv + 2, argv + argc);
+    return replay_files(*h, files);
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1])
+                                  : fs::path(PRIONN_FUZZ_CORPUS_DIR);
+  return replay_corpus(root);
+}

@@ -1,0 +1,53 @@
+// Harness for core/checkpoint: the "PRCK" frame reader and the payload
+// decoder behind it (PrionnPredictor::load, Adam moments, dropout RNG).
+// The frame reader's contract is CheckpointError on any damage; the
+// decoder additionally wraps the predictor loader's runtime_errors. A
+// frame that *reads* cleanly is also round-tripped through the writer.
+#include "harness/fuzz_entry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/checkpoint.hpp"
+
+namespace prionn::fuzz {
+
+int fuzz_checkpoint_frame(const std::uint8_t* data, std::size_t size) {
+  // Bound per-input work: a frame header can legitimately announce up to
+  // 1 GiB, but the fuzzer should not spend its budget streaming it.
+  if (size > (1u << 20)) return -1;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  std::istringstream is(bytes, std::ios::binary);
+  std::string payload;
+  try {
+    payload = core::read_checkpoint(is);
+  } catch (const core::CheckpointError&) {
+    return 0;  // the documented rejection path
+  }
+
+  // A frame that passed magic/version/CRC must round-trip bit-exactly.
+  std::ostringstream os(std::ios::binary);
+  core::write_checkpoint(os, payload);
+  std::istringstream back(std::move(os).str(), std::ios::binary);
+  if (core::read_checkpoint(back) != payload) __builtin_trap();
+
+  // CRC-valid payloads still carry untrusted predictor state; the decoder
+  // must reject damage with CheckpointError, never crash or OOM.
+  try {
+    const core::DecodedCheckpoint decoded = core::decode_checkpoint(payload);
+    static_cast<void>(decoded);
+  } catch (const core::CheckpointError&) {
+  }
+  return 0;
+}
+
+}  // namespace prionn::fuzz
+
+#if defined(PRIONN_FUZZ_MAIN)
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return prionn::fuzz::fuzz_checkpoint_frame(data, size);
+}
+#endif

@@ -1,0 +1,52 @@
+// Catalogue of libFuzzer-compatible entry points over every untrusted
+// input decoder in the repository. Each entry point has the classic
+//   int entry(const std::uint8_t* data, std::size_t size)
+// shape and the libFuzzer contract: it must return 0 (or -1 to reject an
+// input from the corpus) and must NEVER crash, abort, leak, or loop
+// unboundedly, whatever the bytes are. Expected parse failures are the
+// decoders' documented exceptions and are caught inside the entry point;
+// anything else escaping (std::bad_alloc from an allocation bomb,
+// std::logic_error from a broken invariant, a signal) is a finding.
+//
+// The same functions are driven three ways:
+//   - fuzz_<name> libFuzzer binaries under -DPRIONN_FUZZ=ON (clang only);
+//   - the fuzz_regression ctest binary, which replays every committed
+//     corpus entry on ordinary builds (the corpora are permanent
+//     regression tests even where libFuzzer is unavailable);
+//   - tests/fuzz_test.cpp, which sweeps them with randomized inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace prionn::fuzz {
+
+/// core/checkpoint: "PRCK" frame reader + checkpoint payload decoder.
+int fuzz_checkpoint_frame(const std::uint8_t* data, std::size_t size);
+/// nn/serialize: tagged layer-sequence network loader.
+int fuzz_nn_serialize(const std::uint8_t* data, std::size_t size);
+/// obs/json: flat JSON reader, plus the serialize∘parse fixpoint law.
+int fuzz_obs_json(const std::uint8_t* data, std::size_t size);
+/// obs/events: typed JSONL event parsers + re-append round-trip.
+int fuzz_obs_events(const std::uint8_t* data, std::size_t size);
+/// trace/swf: SWF importer through the quarantine path.
+int fuzz_swf_loader(const std::uint8_t* data, std::size_t size);
+/// trace/store: PRIONN trace loader through the resync/quarantine path.
+int fuzz_trace_store(const std::uint8_t* data, std::size_t size);
+/// core/script_image + trace/features: script parser and image mapper.
+int fuzz_script_image(const std::uint8_t* data, std::size_t size);
+
+using FuzzEntry = int (*)(const std::uint8_t*, std::size_t);
+
+struct Harness {
+  const char* name;  // also the corpus subdirectory under fuzz/corpus/
+  FuzzEntry entry;
+};
+
+/// Every harness above, in a stable order. The regression driver, the
+/// corpus generator, and the randomized tests all iterate this table, so
+/// adding a harness here is the single registration point.
+std::span<const Harness> harnesses();
+
+}  // namespace prionn::fuzz

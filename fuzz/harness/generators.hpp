@@ -1,0 +1,90 @@
+// Deterministic adversarial-input generators shared by the randomized
+// robustness tests (tests/fuzz_test.cpp) and the corpus generator. Kept
+// next to the harness entry points so the byte diets of the sweeps and
+// of the fuzzers stay in sync.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace prionn::fuzz {
+
+/// Uniform random bytes, the baseline diet of every harness.
+inline std::string random_bytes(std::size_t n, std::uint64_t seed) {
+  prionn::util::Rng rng(seed);
+  std::string s(n, '\0');
+  for (auto& c : s) c = static_cast<char>(rng.uniform_int(0, 255));
+  return s;
+}
+
+/// Structure-aware mutation: take a well-formed document and damage it the
+/// way real corruption does — truncation, bit flips, byte stomps, splices
+/// of random garbage — rather than starting from noise.
+inline std::string mutate(const std::string& seed_doc, std::uint64_t seed) {
+  prionn::util::Rng rng(seed);
+  std::string s = seed_doc;
+  switch (rng.uniform_int(0, 3)) {
+    case 0:  // truncate
+      s.resize(s.size() * static_cast<std::size_t>(rng.uniform_int(0, 99)) /
+               100);
+      break;
+    case 1: {  // flip a handful of bits
+      if (s.empty()) break;
+      const int flips = static_cast<int>(rng.uniform_int(1, 8));
+      for (int i = 0; i < flips; ++i) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+        s[at] = static_cast<char>(s[at] ^
+                                  (1u << rng.uniform_int(0, 7)));
+      }
+      break;
+    }
+    case 2: {  // stomp a run of bytes with noise
+      if (s.empty()) break;
+      const auto at = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.size()) - 1));
+      const std::size_t run =
+          std::min(s.size() - at,
+                   static_cast<std::size_t>(rng.uniform_int(1, 16)));
+      for (std::size_t i = 0; i < run; ++i)
+        s[at + i] = static_cast<char>(rng.uniform_int(0, 255));
+      break;
+    }
+    default:  // splice random garbage into the middle
+      s.insert(s.size() / 2, random_bytes(
+                                 static_cast<std::size_t>(
+                                     rng.uniform_int(1, 64)),
+                                 seed ^ 0x5eedULL));
+  }
+  return s;
+}
+
+/// Script-shaped garbage: fragments of SBATCH directives glued together
+/// with random numbers, exercising the parser's token paths.
+inline std::string random_scriptish(std::size_t lines, std::uint64_t seed) {
+  prionn::util::Rng rng(seed);
+  static const char* fragments[] = {
+      "#SBATCH --time=",       "#SBATCH --nodes",  "#SBATCH",
+      "srun -N ",              "cd /tmp/",         "# submitted from ",
+      "--time",                "=",                ":::",
+      "#SBATCH --mail-user=@", "\t \t",            "12:34:56:78",
+      "#SBATCH --ntasks-per-node=x",
+  };
+  std::string s;
+  for (std::size_t l = 0; l < lines; ++l) {
+    const int pieces = static_cast<int>(rng.uniform_int(0, 4));
+    for (int p = 0; p < pieces; ++p) {
+      s += fragments[rng.uniform_int(0, std::size(fragments) - 1)];
+      s += std::to_string(rng.uniform_int(-100, 100000));
+    }
+    s += '\n';
+  }
+  return s;
+}
+
+}  // namespace prionn::fuzz

@@ -1,0 +1,41 @@
+// Harness for nn/serialize: the tagged layer-sequence loader, including
+// every Layer::load (tensor headers, conv geometry, dropout RNG state).
+// Contract: std::runtime_error for damage, std::invalid_argument for
+// decoded-but-inconsistent layer shapes. A network that loads cleanly is
+// save/load round-tripped to pin the format.
+#include "harness/fuzz_entry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "nn/network.hpp"
+#include "nn/serialize.hpp"
+
+namespace prionn::fuzz {
+
+int fuzz_nn_serialize(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 20)) return -1;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream is(bytes, std::ios::binary);
+  try {
+    nn::Network net = nn::load_network(is);
+    std::ostringstream os(std::ios::binary);
+    nn::save_network(os, net);
+    std::istringstream back(std::move(os).str(), std::ios::binary);
+    nn::Network again = nn::load_network(back);
+    if (again.depth() != net.depth()) __builtin_trap();
+  } catch (const std::invalid_argument&) {
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}
+
+}  // namespace prionn::fuzz
+
+#if defined(PRIONN_FUZZ_MAIN)
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return prionn::fuzz::fuzz_nn_serialize(data, size);
+}
+#endif

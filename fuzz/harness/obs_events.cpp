@@ -1,0 +1,55 @@
+// Harness for obs/events: the typed JSONL parsers (retrain / window /
+// ingest records) and their round-trip law. The parsers return nullopt on
+// anything malformed; when a line does parse, appending the typed record
+// to a fresh EventLog and re-parsing its serialisation must converge to a
+// fixpoint in one step.
+#include "harness/fuzz_entry.hpp"
+
+#include <string>
+
+#include "obs/events.hpp"
+
+namespace prionn::fuzz {
+
+namespace {
+
+/// Append `e`, return the (single) serialised line.
+template <typename Event>
+std::string reserialize(const Event& e) {
+  obs::EventLog log;
+  log.append(e);
+  return log.lines().front();
+}
+
+}  // namespace
+
+int fuzz_obs_events(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 20)) return -1;
+  const std::string line(reinterpret_cast<const char*>(data), size);
+
+  if (const auto e = obs::EventLog::parse_retrain(line)) {
+    const std::string out = reserialize(*e);
+    const auto again = obs::EventLog::parse_retrain(out);
+    if (!again || reserialize(*again) != out) __builtin_trap();
+  }
+  if (const auto e = obs::EventLog::parse_window(line)) {
+    const std::string out = reserialize(*e);
+    const auto again = obs::EventLog::parse_window(out);
+    if (!again || reserialize(*again) != out) __builtin_trap();
+  }
+  if (const auto e = obs::EventLog::parse_ingest(line)) {
+    const std::string out = reserialize(*e);
+    const auto again = obs::EventLog::parse_ingest(out);
+    if (!again || reserialize(*again) != out) __builtin_trap();
+  }
+  return 0;
+}
+
+}  // namespace prionn::fuzz
+
+#if defined(PRIONN_FUZZ_MAIN)
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return prionn::fuzz::fuzz_obs_events(data, size);
+}
+#endif

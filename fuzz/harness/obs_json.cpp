@@ -1,0 +1,37 @@
+// Harness for obs/json: the flat JSON reader behind the telemetry event
+// log. json_parse never throws — it returns nullopt on malformed input —
+// so ANY exception is a finding. For inputs that do parse, the harness
+// checks the serialize∘parse fixpoint law: re-serialising the parsed
+// object and parsing that must reproduce the same serialised form
+// (deterministic sorted-key order makes the comparison exact).
+#include "harness/fuzz_entry.hpp"
+
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace prionn::fuzz {
+
+int fuzz_obs_json(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 20)) return -1;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const auto object = obs::json_parse(text);
+  if (!object) return 0;
+
+  const std::string first = obs::json_serialize(*object);
+  const auto reparsed = obs::json_parse(first);
+  // Whatever we serialise must parse back, and must serialise identically.
+  if (!reparsed) __builtin_trap();
+  if (obs::json_serialize(*reparsed) != first) __builtin_trap();
+  return 0;
+}
+
+}  // namespace prionn::fuzz
+
+#if defined(PRIONN_FUZZ_MAIN)
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return prionn::fuzz::fuzz_obs_json(data, size);
+}
+#endif

@@ -1,0 +1,18 @@
+#include "harness/fuzz_entry.hpp"
+
+namespace prionn::fuzz {
+
+std::span<const Harness> harnesses() {
+  static const Harness table[] = {
+      {"checkpoint_frame", &fuzz_checkpoint_frame},
+      {"nn_serialize", &fuzz_nn_serialize},
+      {"obs_json", &fuzz_obs_json},
+      {"obs_events", &fuzz_obs_events},
+      {"swf_loader", &fuzz_swf_loader},
+      {"trace_store", &fuzz_trace_store},
+      {"script_image", &fuzz_script_image},
+  };
+  return table;
+}
+
+}  // namespace prionn::fuzz

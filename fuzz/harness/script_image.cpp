@@ -1,0 +1,52 @@
+// Harness for the script-facing front door: trace/features' SBATCH parser
+// and core/script_image's character-grid mapper. Job scripts are the one
+// input PRIONN ingests straight from users, so this path has no rejection
+// branch at all — every byte string must produce finite features and a
+// finite image. Any exception is a finding.
+#include "harness/fuzz_entry.hpp"
+
+#include <cmath>
+#include <string>
+#include <string_view>
+
+#include "core/script_image.hpp"
+#include "trace/features.hpp"
+
+namespace prionn::fuzz {
+
+int fuzz_script_image(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 20)) return -1;
+  const std::string script(reinterpret_cast<const char*>(data), size);
+
+  const auto f = trace::parse_script(script);
+  if (!std::isfinite(f.requested_hours) || !std::isfinite(f.requested_nodes) ||
+      !std::isfinite(f.requested_tasks))
+    __builtin_trap();
+
+  core::ScriptImageOptions opts;
+  opts.rows = opts.cols = 16;
+  for (const auto transform :
+       {core::Transform::kBinary, core::Transform::kSimple,
+        core::Transform::kOneHot}) {
+    opts.transform = transform;
+    const core::ScriptImageMapper mapper(opts);
+    const auto grid = mapper.to_grid(script);
+    if (grid.size() != opts.rows || grid[0].size() != opts.cols)
+      __builtin_trap();
+    const auto img = mapper.map_2d(script);
+    for (std::size_t i = 0; i < img.size(); ++i)
+      if (!std::isfinite(img[i])) __builtin_trap();
+    const auto flat = mapper.map_1d(script);
+    if (flat.size() != img.size()) __builtin_trap();
+  }
+  return 0;
+}
+
+}  // namespace prionn::fuzz
+
+#if defined(PRIONN_FUZZ_MAIN)
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return prionn::fuzz::fuzz_script_image(data, size);
+}
+#endif

@@ -1,0 +1,54 @@
+// Harness for trace/swf: the SWF importer through the quarantine path.
+// Two passes per input — a tolerant load (quarantine fraction 1.0) that
+// must accept anything and only route damage into the report, and the
+// default strict load, whose sole escape hatch is std::runtime_error when
+// the tolerance is exceeded. Script synthesis stays on: the app-catalogue
+// reconstruction is part of the importer's attack surface.
+#include "harness/fuzz_entry.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/quarantine.hpp"
+#include "trace/swf.hpp"
+
+namespace prionn::fuzz {
+
+int fuzz_swf_loader(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 18)) return -1;  // script synthesis makes rows pricey
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  {
+    trace::SwfOptions tolerant;
+    tolerant.max_quarantine_fraction = 1.0;
+    trace::QuarantineReport report;
+    std::istringstream is(bytes);
+    const auto jobs = trace::load_swf(is, tolerant, &report);
+    // The tolerant load never throws; records it emits must be sane.
+    for (const auto& j : jobs) {
+      if (!std::isfinite(j.runtime_minutes) || j.runtime_minutes < 0.0)
+        __builtin_trap();
+      if (j.requested_nodes < 1) __builtin_trap();
+    }
+    if (report.fraction() < 0.0 || report.fraction() > 1.0) __builtin_trap();
+  }
+
+  try {
+    std::istringstream is(bytes);
+    const auto jobs = trace::load_swf(is);
+    static_cast<void>(jobs);
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}
+
+}  // namespace prionn::fuzz
+
+#if defined(PRIONN_FUZZ_MAIN)
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return prionn::fuzz::fuzz_swf_loader(data, size);
+}
+#endif

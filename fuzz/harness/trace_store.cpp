@@ -1,0 +1,57 @@
+// Harness for trace/store: the line-oriented trace loader with its
+// resync-on-"job " quarantine path. The header check throws for streams
+// that are not traces at all; past it, a tolerant load must survive any
+// interior damage, and accepted records must round-trip through the
+// writer (save_trace ∘ load_trace is the persistence contract).
+#include "harness/fuzz_entry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "trace/quarantine.hpp"
+#include "trace/store.hpp"
+
+namespace prionn::fuzz {
+
+int fuzz_trace_store(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 20)) return -1;
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  trace::TraceLoadOptions tolerant;
+  tolerant.max_quarantine_fraction = 1.0;
+  // A corrupt length prefix must be rejected by the cap, not allocated;
+  // keep the cap small so the fuzzer's own memory budget stays intact.
+  tolerant.max_script_bytes = 1u << 16;
+
+  std::vector<trace::JobRecord> jobs;
+  try {
+    trace::QuarantineReport report;
+    std::istringstream is(bytes);
+    jobs = trace::load_trace(is, tolerant, &report);
+    if (report.fraction() < 0.0 || report.fraction() > 1.0) __builtin_trap();
+  } catch (const std::runtime_error&) {
+    return 0;  // not a trace (bad header / bad record count)
+  }
+
+  // Accepted records round-trip bit-exactly through the writer.
+  std::ostringstream os;
+  trace::save_trace(os, jobs);
+  std::istringstream back(std::move(os).str());
+  const auto again = trace::load_trace(back, tolerant);
+  if (again.size() != jobs.size()) __builtin_trap();
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (again[i].job_id != jobs[i].job_id ||
+        again[i].script != jobs[i].script)
+      __builtin_trap();
+  return 0;
+}
+
+}  // namespace prionn::fuzz
+
+#if defined(PRIONN_FUZZ_MAIN)
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return prionn::fuzz::fuzz_trace_store(data, size);
+}
+#endif

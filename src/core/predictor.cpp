@@ -5,6 +5,7 @@
 #include "util/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <istream>
 #include <ostream>
@@ -198,6 +199,35 @@ double read_f64(std::istream& is) {
   return v;
 }
 
+/// A checkpoint payload that passed the CRC can still carry hostile
+/// options (the CRC authenticates nothing); building networks from them
+/// would turn a 50-byte stream into gigabytes of allocations. Bounds are
+/// generous multiples of anything the paper's configurations use.
+void validate_loaded_options(const PredictorOptions& o) {
+  const auto fail = [](const std::string& what) {
+    throw std::runtime_error("PrionnPredictor::load: implausible " + what);
+  };
+  if (static_cast<std::uint64_t>(o.image.transform) >
+      static_cast<std::uint64_t>(Transform::kWord2Vec))
+    fail("transform");
+  if (static_cast<std::uint64_t>(o.model) >
+      static_cast<std::uint64_t>(ModelKind::kCnn2d))
+    fail("model kind");
+  if (static_cast<std::uint64_t>(o.preset) >
+      static_cast<std::uint64_t>(ModelPreset::kFast))
+    fail("model preset");
+  if (o.image.rows == 0 || o.image.rows > 4096 || o.image.cols == 0 ||
+      o.image.cols > 4096)
+    fail("image grid");
+  if (o.runtime_bins == 0 || o.runtime_bins > (1u << 20)) fail("runtime bins");
+  if (o.io_bins == 0 || o.io_bins > (1u << 20)) fail("io bins");
+  if (o.word2vec_dimension == 0 || o.word2vec_dimension > 4096)
+    fail("word2vec dimension");
+  if (!std::isfinite(o.learning_rate)) fail("learning rate");
+  if (!(o.dropout >= 0.0 && o.dropout < 1.0)) fail("dropout");
+  if (!std::isfinite(o.max_gradient_norm)) fail("gradient norm cap");
+}
+
 }  // namespace
 
 void PrionnPredictor::save(std::ostream& os) const {
@@ -259,6 +289,7 @@ PrionnPredictor PrionnPredictor::load(std::istream& is) {
   opts.max_gradient_norm = read_f64(is);
   opts.predict_io = read_u64(is) != 0;
   opts.seed = read_u64(is);
+  validate_loaded_options(opts);
 
   PrionnPredictor p(opts);
   p.trained_ = read_u64(is) != 0;

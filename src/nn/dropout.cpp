@@ -7,7 +7,10 @@
 namespace prionn::nn {
 
 Dropout::Dropout(double rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
-  if (rate < 0.0 || rate >= 1.0)
+  // The negated form also rejects NaN, which `rate < 0.0 || rate >= 1.0`
+  // would wave through (and a NaN rate makes every bernoulli draw UB-ish
+  // nonsense when a deserialised layer trains again).
+  if (!(rate >= 0.0 && rate < 1.0))
     throw std::invalid_argument("Dropout: rate must be in [0, 1)");
 }
 

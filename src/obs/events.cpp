@@ -1,5 +1,6 @@
 #include "obs/events.hpp"
 
+#include <cmath>
 #include <ostream>
 
 #include "obs/json.hpp"
@@ -22,6 +23,20 @@ std::optional<JsonObject> parse_typed(const std::string& line,
   return object;
 }
 
+/// Checked index/count field: the schema stores them as JSON numbers, but
+/// a hostile line can carry -1 or 1e300, and casting those doubles to an
+/// unsigned type is undefined behaviour. Only exactly-representable
+/// non-negative integers (<= 2^53) are meaningful for these fields.
+std::optional<std::uint64_t> json_index_field(const JsonObject& o,
+                                              const std::string& key) {
+  const auto v = json_number_field(o, key);
+  if (!v) return std::nullopt;
+  constexpr double kMaxExact = 9007199254740992.0;  // 2^53
+  if (!(*v >= 0.0 && *v <= kMaxExact) || *v != std::floor(*v))
+    return std::nullopt;
+  return static_cast<std::uint64_t>(*v);
+}
+
 }  // namespace
 
 void EventLog::append(const RetrainEvent& e) {
@@ -38,7 +53,7 @@ void EventLog::append(const RetrainEvent& e) {
   o["benched"] = e.benched;
   o["checkpoint_generation"] = as_number(e.checkpoint_generation);
   o["duration_ms"] = e.duration_ms;
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   lines_.push_back(json_serialize(o));
 }
 
@@ -52,7 +67,7 @@ void EventLog::append(const WindowEvent& e) {
   o["from_random_forest"] = as_number(e.from_random_forest);
   o["from_requested"] = as_number(e.from_requested);
   o["checkpoint_generation"] = as_number(e.checkpoint_generation);
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   lines_.push_back(json_serialize(o));
 }
 
@@ -63,22 +78,22 @@ void EventLog::append(const IngestEvent& e) {
   o["rows_accepted"] = as_number(e.rows_accepted);
   o["rows_quarantined"] = as_number(e.rows_quarantined);
   o["quarantined_fraction"] = e.quarantined_fraction;
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   lines_.push_back(json_serialize(o));
 }
 
 std::size_t EventLog::size() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return lines_.size();
 }
 
 void EventLog::clear() {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   lines_.clear();
 }
 
 std::vector<std::string> EventLog::lines() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return lines_;
 }
 
@@ -91,23 +106,23 @@ std::optional<RetrainEvent> EventLog::parse_retrain(
   const auto o = parse_typed(line, "retrain");
   if (!o) return std::nullopt;
   RetrainEvent e;
-  const auto window_id = json_number_field(*o, "window_id");
-  const auto job_index = json_number_field(*o, "job_index");
-  const auto window_size = json_number_field(*o, "window_size");
-  const auto holdback_size = json_number_field(*o, "holdback_size");
+  const auto window_id = json_index_field(*o, "window_id");
+  const auto job_index = json_index_field(*o, "job_index");
+  const auto window_size = json_index_field(*o, "window_size");
+  const auto holdback_size = json_index_field(*o, "holdback_size");
   const auto loss = json_array_field(*o, "loss");
   const auto holdback_accuracy = json_number_field(*o, "holdback_accuracy");
   const auto accepted = json_bool_field(*o, "accepted");
   const auto rollback = json_bool_field(*o, "rollback");
   const auto benched = json_bool_field(*o, "benched");
-  const auto generation = json_number_field(*o, "checkpoint_generation");
+  const auto generation = json_index_field(*o, "checkpoint_generation");
   const auto duration_ms = json_number_field(*o, "duration_ms");
   if (!window_id || !job_index || !window_size || !holdback_size || !loss ||
       !holdback_accuracy || !accepted || !rollback || !benched ||
       !generation || !duration_ms)
     return std::nullopt;
-  e.window_id = static_cast<std::uint64_t>(*window_id);
-  e.job_index = static_cast<std::uint64_t>(*job_index);
+  e.window_id = *window_id;
+  e.job_index = *job_index;
   e.window_size = static_cast<std::size_t>(*window_size);
   e.holdback_size = static_cast<std::size_t>(*holdback_size);
   e.loss = *loss;
@@ -115,7 +130,7 @@ std::optional<RetrainEvent> EventLog::parse_retrain(
   e.accepted = *accepted;
   e.rollback = *rollback;
   e.benched = *benched;
-  e.checkpoint_generation = static_cast<std::uint64_t>(*generation);
+  e.checkpoint_generation = *generation;
   e.duration_ms = *duration_ms;
   return e;
 }
@@ -124,23 +139,23 @@ std::optional<WindowEvent> EventLog::parse_window(const std::string& line) {
   const auto o = parse_typed(line, "window");
   if (!o) return std::nullopt;
   WindowEvent e;
-  const auto window_id = json_number_field(*o, "window_id");
-  const auto first = json_number_field(*o, "first_job_index");
-  const auto predictions = json_number_field(*o, "predictions");
-  const auto nn = json_number_field(*o, "from_neural_net");
-  const auto rf = json_number_field(*o, "from_random_forest");
-  const auto requested = json_number_field(*o, "from_requested");
-  const auto generation = json_number_field(*o, "checkpoint_generation");
+  const auto window_id = json_index_field(*o, "window_id");
+  const auto first = json_index_field(*o, "first_job_index");
+  const auto predictions = json_index_field(*o, "predictions");
+  const auto nn = json_index_field(*o, "from_neural_net");
+  const auto rf = json_index_field(*o, "from_random_forest");
+  const auto requested = json_index_field(*o, "from_requested");
+  const auto generation = json_index_field(*o, "checkpoint_generation");
   if (!window_id || !first || !predictions || !nn || !rf || !requested ||
       !generation)
     return std::nullopt;
-  e.window_id = static_cast<std::uint64_t>(*window_id);
-  e.first_job_index = static_cast<std::uint64_t>(*first);
+  e.window_id = *window_id;
+  e.first_job_index = *first;
   e.predictions = static_cast<std::size_t>(*predictions);
   e.from_neural_net = static_cast<std::size_t>(*nn);
   e.from_random_forest = static_cast<std::size_t>(*rf);
   e.from_requested = static_cast<std::size_t>(*requested);
-  e.checkpoint_generation = static_cast<std::uint64_t>(*generation);
+  e.checkpoint_generation = *generation;
   return e;
 }
 
@@ -149,8 +164,8 @@ std::optional<IngestEvent> EventLog::parse_ingest(const std::string& line) {
   if (!o) return std::nullopt;
   IngestEvent e;
   const auto source = json_string_field(*o, "source");
-  const auto accepted = json_number_field(*o, "rows_accepted");
-  const auto quarantined = json_number_field(*o, "rows_quarantined");
+  const auto accepted = json_index_field(*o, "rows_accepted");
+  const auto quarantined = json_index_field(*o, "rows_quarantined");
   const auto fraction = json_number_field(*o, "quarantined_fraction");
   if (!source || !accepted || !quarantined || !fraction) return std::nullopt;
   e.source = *source;

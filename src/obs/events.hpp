@@ -13,10 +13,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace prionn::obs {
 
@@ -80,8 +82,8 @@ class EventLog {
   static EventLog& global();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> lines_;
+  mutable util::Mutex mu_;
+  std::vector<std::string> lines_ PRIONN_GUARDED_BY(mu_);
 };
 
 }  // namespace prionn::obs

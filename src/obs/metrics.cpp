@@ -119,14 +119,14 @@ Registry::Entry& Registry::find_or_create(const std::string& name, Kind kind,
 }
 
 Counter& Registry::counter(const std::string& name, const std::string& help) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   Entry& e = find_or_create(name, Kind::kCounter, help);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
 Gauge& Registry::gauge(const std::string& name, const std::string& help) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   Entry& e = find_or_create(name, Kind::kGauge, help);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
@@ -135,7 +135,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& help) {
 LatencyHistogram& Registry::histogram(const std::string& name,
                                       std::vector<double> upper_bounds,
                                       const std::string& help) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   Entry& e = find_or_create(name, Kind::kHistogram, help);
   if (!e.histogram) {
     e.histogram = std::make_unique<LatencyHistogram>(std::move(upper_bounds));
@@ -160,7 +160,7 @@ LatencyHistogram& Registry::latency(const std::string& name,
 }
 
 Registry::Snapshot Registry::snapshot() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   Snapshot snap;
   for (const auto& [name, e] : entries_) {
     switch (e.kind) {
@@ -189,7 +189,7 @@ Registry::Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset_all() {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   for (auto& [name, e] : entries_) {
     if (e.counter) e.counter->reset();
     if (e.gauge) e.gauge->reset();

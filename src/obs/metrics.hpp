@@ -14,9 +14,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace prionn::obs {
 
@@ -156,10 +158,10 @@ class Registry {
     std::unique_ptr<LatencyHistogram> histogram;
   };
   Entry& find_or_create(const std::string& name, Kind kind,
-                        const std::string& help);
+                        const std::string& help) PRIONN_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable util::Mutex mu_;
+  std::map<std::string, Entry> entries_ PRIONN_GUARDED_BY(mu_);
 };
 
 }  // namespace prionn::obs

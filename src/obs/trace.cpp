@@ -36,7 +36,7 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
 }
 
 void TraceBuffer::record(const SpanRecord& span) {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(span);
   } else {
@@ -47,17 +47,17 @@ void TraceBuffer::record(const SpanRecord& span) {
 }
 
 std::size_t TraceBuffer::size() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t TraceBuffer::total_recorded() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   return total_;
 }
 
 std::vector<SpanRecord> TraceBuffer::snapshot() const {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   // Once the ring has wrapped, `next_` points at the oldest entry.
@@ -68,7 +68,7 @@ std::vector<SpanRecord> TraceBuffer::snapshot() const {
 }
 
 void TraceBuffer::clear() {
-  std::lock_guard lock(mu_);
+  util::ScopedLock lock(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;

@@ -13,9 +13,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace prionn::obs {
 
@@ -60,11 +62,11 @@ class TraceBuffer {
   static TraceBuffer& global();
 
  private:
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::vector<SpanRecord> ring_;
-  std::size_t next_ = 0;        // ring write cursor
-  std::uint64_t total_ = 0;
+  mutable util::Mutex mu_;
+  std::size_t capacity_;  // immutable after construction; unguarded
+  std::vector<SpanRecord> ring_ PRIONN_GUARDED_BY(mu_);
+  std::size_t next_ PRIONN_GUARDED_BY(mu_) = 0;  // ring write cursor
+  std::uint64_t total_ PRIONN_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: times its scope and records into the global buffer on

@@ -105,10 +105,20 @@ Tensor Tensor::load(std::istream& is) {
   is.read(reinterpret_cast<char*>(&rank64), sizeof(rank64));
   if (!is || rank64 > 8)
     throw std::runtime_error("Tensor::load: corrupt header");
+  // A corrupt header must not become an allocation bomb, and the element
+  // count must be computed overflow-checked: dims like {3, 2^63} wrap
+  // size_t multiplication to a tiny product whose buffer later code would
+  // index far past.
+  constexpr std::uint64_t kMaxElements = 1ull << 28;  // 1 GiB of floats
+  std::uint64_t elements = 1;
   Shape shape(rank64);
   for (auto& d : shape) {
     std::uint64_t d64 = 0;
     is.read(reinterpret_cast<char*>(&d64), sizeof(d64));
+    if (!is) throw std::runtime_error("Tensor::load: corrupt header");
+    if (d64 != 0 && elements > kMaxElements / d64)
+      throw std::runtime_error("Tensor::load: implausible shape");
+    elements *= d64;
     d = static_cast<std::size_t>(d64);
   }
   Tensor out(std::move(shape));

@@ -174,8 +174,13 @@ std::vector<JobRecord> load_swf(std::istream& is, const SwfOptions& options,
     j.requested_tasks = static_cast<std::uint32_t>(procs);
     j.requested_nodes = static_cast<std::uint32_t>(
         (procs + options.cores_per_node - 1) / options.cores_per_node);
-    j.user = "user" + std::to_string(std::max(0LL, user_id));
-    j.group = "g" + std::to_string(std::max(0LL, group_id));
+    // Append form rather than `"g" + std::to_string(...)`: the concat
+    // spelling trips GCC 12's -Wrestrict false positive (PR 105651) when
+    // inlined at -O3, and this file builds under -Werror.
+    j.user = "user";
+    j.user += std::to_string(std::max(0LL, user_id));
+    j.group = "g";
+    j.group += std::to_string(std::max(0LL, group_id));
     j.start_time = j.submit_time + std::max(0.0, wait);
     j.end_time = j.start_time + j.runtime_minutes * 60.0;
 

@@ -1,0 +1,53 @@
+// Clang thread-safety annotations (capability analysis). Under clang with
+// -Wthread-safety these expand to the attributes that let the compiler
+// prove, statically, that every access to a GUARDED_BY member happens
+// under its mutex and that every ACQUIRE has a matching RELEASE. Under
+// GCC (and clang without the warning) they expand to nothing, so the
+// annotated code stays portable. The PRIONN_TSA CMake option turns the
+// analysis into hard errors.
+//
+// The macros only work on types that are themselves annotated as
+// capabilities — std::mutex is not; use util::Mutex from util/mutex.hpp.
+#pragma once
+
+#if defined(__clang__)
+#define PRIONN_TSA_ATTR(x) __attribute__((x))
+#else
+#define PRIONN_TSA_ATTR(x)  // no-op outside clang
+#endif
+
+/// Type annotation: this class is a lockable capability (a mutex).
+#define PRIONN_CAPABILITY(name) PRIONN_TSA_ATTR(capability(name))
+
+/// Type annotation: RAII object that holds a capability for its lifetime.
+#define PRIONN_SCOPED_CAPABILITY PRIONN_TSA_ATTR(scoped_lockable)
+
+/// Data member annotation: reads/writes require holding `mu`.
+#define PRIONN_GUARDED_BY(mu) PRIONN_TSA_ATTR(guarded_by(mu))
+
+/// Pointer member annotation: the *pointee* is guarded by `mu`.
+#define PRIONN_PT_GUARDED_BY(mu) PRIONN_TSA_ATTR(pt_guarded_by(mu))
+
+/// Function annotation: caller must hold the listed capabilities.
+#define PRIONN_REQUIRES(...) \
+  PRIONN_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function annotation: acquires the listed capabilities (or `this`).
+#define PRIONN_ACQUIRE(...) PRIONN_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Function annotation: releases the listed capabilities (or `this`).
+#define PRIONN_RELEASE(...) PRIONN_TSA_ATTR(release_capability(__VA_ARGS__))
+
+/// Function annotation: acquires when returning `result` (e.g. true).
+#define PRIONN_TRY_ACQUIRE(result, ...) \
+  PRIONN_TSA_ATTR(try_acquire_capability(result, ##__VA_ARGS__))
+
+/// Function annotation: caller must NOT hold the listed capabilities
+/// (deadlock prevention for self-calling APIs).
+#define PRIONN_EXCLUDES(...) PRIONN_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disable the analysis for one function whose locking is
+/// correct for reasons the checker cannot see. Every use carries a
+/// comment explaining the protocol that makes it sound.
+#define PRIONN_NO_THREAD_SAFETY_ANALYSIS \
+  PRIONN_TSA_ATTR(no_thread_safety_analysis)

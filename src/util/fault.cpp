@@ -23,7 +23,7 @@ FaultInjector& FaultInjector::instance() {
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   for (std::size_t i = 0; i < points_.size(); ++i) {
     points_[i].plan = plan.points[i];
     std::sort(points_[i].plan.fire_at.begin(), points_[i].plan.fire_at.end());
@@ -38,13 +38,13 @@ void FaultInjector::arm(const FaultPlan& plan) {
 }
 
 void FaultInjector::disarm() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   armed_.store(false, std::memory_order_relaxed);
 }
 
 bool FaultInjector::should_fire(FaultPoint p) {
   if (!armed()) return false;
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   PointState& st = points_[static_cast<std::size_t>(p)];
   const std::uint64_t n = ++st.occurrences;
   // The random draw happens on every occurrence (even when fire_at already
@@ -61,12 +61,12 @@ bool FaultInjector::should_fire(FaultPoint p) {
 }
 
 std::uint64_t FaultInjector::occurrences(FaultPoint p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return points_[static_cast<std::size_t>(p)].occurrences;
 }
 
 std::uint64_t FaultInjector::fires(FaultPoint p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  ScopedLock lock(mutex_);
   return points_[static_cast<std::size_t>(p)].fires;
 }
 

@@ -20,11 +20,12 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace prionn::util::fault {
@@ -94,9 +95,9 @@ class FaultInjector {
   };
 
   std::atomic<bool> armed_{false};
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   std::array<PointState, static_cast<std::size_t>(FaultPoint::kCount)>
-      points_;
+      points_ PRIONN_GUARDED_BY(mutex_);
 };
 
 /// Shorthand for the common call site: armed-check plus consult.

@@ -17,29 +17,29 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    ScopedLock lock(mutex_);
     stop_ = true;
   }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::run_chunk(std::size_t chunk_id) {
-  PRIONN_DCHECK(task_.body != nullptr && chunk_id < task_.chunks)
+void ThreadPool::run_chunk(const Task& task, std::size_t chunk_id) {
+  PRIONN_DCHECK(task.body != nullptr && chunk_id < task.chunks)
       << "ThreadPool::run_chunk: chunk " << chunk_id << " of "
-      << task_.chunks;
-  const std::size_t total = task_.end - task_.begin;
-  const std::size_t per = total / task_.chunks;
-  const std::size_t extra = total % task_.chunks;
+      << task.chunks;
+  const std::size_t total = task.end - task.begin;
+  const std::size_t per = total / task.chunks;
+  const std::size_t extra = total % task.chunks;
   // First `extra` chunks take one extra iteration so the partition is exact.
   const std::size_t lo =
-      task_.begin + chunk_id * per + std::min(chunk_id, extra);
+      task.begin + chunk_id * per + std::min(chunk_id, extra);
   const std::size_t hi = lo + per + (chunk_id < extra ? 1 : 0);
   if (lo >= hi) return;
   try {
-    (*task_.body)(lo, hi);
+    (*task.body)(lo, hi);
   } catch (...) {
-    std::lock_guard lock(mutex_);
+    ScopedLock lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
 }
@@ -47,15 +47,18 @@ void ThreadPool::run_chunk(std::size_t chunk_id) {
 void ThreadPool::worker_loop(std::size_t worker_id) {
   std::size_t seen_generation = 0;
   for (;;) {
+    Task task;
     {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      ScopedLock lock(mutex_);
+      while (!stop_ && generation_ == seen_generation)
+        cv_start_.wait(mutex_);
       if (stop_) return;
       seen_generation = generation_;
+      task = task_;
     }
-    if (worker_id < task_.chunks) run_chunk(worker_id);
+    if (worker_id < task.chunks) run_chunk(task, worker_id);
     {
-      std::lock_guard lock(mutex_);
+      ScopedLock lock(mutex_);
       if (--remaining_ == 0) cv_done_.notify_all();
     }
   }
@@ -76,9 +79,10 @@ void ThreadPool::parallel_for_chunks(
   PRIONN_CHECK(chunks <= workers_.size() + 1)
       << "ThreadPool: " << chunks << " chunks for " << workers_.size() + 1
       << " threads";
+  const Task task{&fn, begin, end, chunks};
   {
-    std::lock_guard lock(mutex_);
-    task_ = Task{&fn, begin, end, chunks};
+    ScopedLock lock(mutex_);
+    task_ = task;
     first_error_ = nullptr;
     remaining_ = workers_.size();
     ++generation_;
@@ -87,12 +91,14 @@ void ThreadPool::parallel_for_chunks(
   // Worker ids are 1..workers_.size() and each runs chunk == id when
   // id < chunks; the calling thread always takes chunk 0, so with
   // chunks <= workers + 1 the partition is exact and disjoint.
-  run_chunk(0);
+  run_chunk(task, 0);
+  std::exception_ptr first_error;
   {
-    std::unique_lock lock(mutex_);
-    cv_done_.wait(lock, [&] { return remaining_ == 0; });
+    ScopedLock lock(mutex_);
+    while (remaining_ != 0) cv_done_.wait(mutex_);
+    first_error = first_error_;
   }
-  if (first_error_) std::rethrow_exception(first_error_);
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

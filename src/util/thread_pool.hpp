@@ -5,12 +5,14 @@
 // equal-cost iterations that dominate this library.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace prionn::util {
 
@@ -49,17 +51,22 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t worker_id);
-  void run_chunk(std::size_t chunk_id);
+  /// Runs one chunk of `task` on the calling thread. Takes a *copy* of the
+  /// task descriptor made under the lock: the generation protocol
+  /// guarantees task_ is stable while any chunk runs, but handing each
+  /// runner its own copy makes that independence provable (and lets
+  /// thread-safety analysis keep task_ guarded).
+  void run_chunk(const Task& task, std::size_t chunk_id);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
-  Task task_;
-  std::size_t generation_ = 0;
-  std::size_t remaining_ = 0;
-  bool stop_ = false;
-  std::exception_ptr first_error_;
+  Mutex mutex_;
+  CondVar cv_start_;
+  CondVar cv_done_;
+  Task task_ PRIONN_GUARDED_BY(mutex_);
+  std::size_t generation_ PRIONN_GUARDED_BY(mutex_) = 0;
+  std::size_t remaining_ PRIONN_GUARDED_BY(mutex_) = 0;
+  bool stop_ PRIONN_GUARDED_BY(mutex_) = false;
+  std::exception_ptr first_error_ PRIONN_GUARDED_BY(mutex_);
 };
 
 /// Convenience wrapper over the global pool.

@@ -1,51 +1,29 @@
 // Robustness tests: the text-facing components (script parser, image
 // mapper, trace/SWF loaders) must handle arbitrary and adversarial input
 // without crashing — scripts on production systems contain anything.
+// The byte diets come from fuzz/harness/generators.hpp and the decoder
+// sweeps drive the same entry points as the libFuzzer harnesses, so this
+// suite, the corpus replayer, and the fuzzers exercise identical code.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <sstream>
 #include <string>
 
+#include "core/checkpoint.hpp"
 #include "core/script_image.hpp"
+#include "harness/fuzz_entry.hpp"
+#include "harness/generators.hpp"
+#include "obs/json.hpp"
 #include "trace/features.hpp"
 #include "trace/store.hpp"
 #include "trace/swf.hpp"
 #include "util/rng.hpp"
 #include "util/string_util.hpp"
 
-namespace {
-
-std::string random_bytes(std::size_t n, std::uint64_t seed) {
-  prionn::util::Rng rng(seed);
-  std::string s(n, '\0');
-  for (auto& c : s)
-    c = static_cast<char>(rng.uniform_int(0, 255));
-  return s;
-}
-
-std::string random_scriptish(std::size_t lines, std::uint64_t seed) {
-  prionn::util::Rng rng(seed);
-  static const char* fragments[] = {
-      "#SBATCH --time=",       "#SBATCH --nodes",  "#SBATCH",
-      "srun -N ",              "cd /tmp/",         "# submitted from ",
-      "--time",                "=",                ":::",
-      "#SBATCH --mail-user=@", "\t \t",            "12:34:56:78",
-      "#SBATCH --ntasks-per-node=x",
-  };
-  std::string s;
-  for (std::size_t l = 0; l < lines; ++l) {
-    const int pieces = static_cast<int>(rng.uniform_int(0, 4));
-    for (int p = 0; p < pieces; ++p) {
-      s += fragments[rng.uniform_int(0, std::size(fragments) - 1)];
-      s += std::to_string(rng.uniform_int(-100, 100000));
-    }
-    s += '\n';
-  }
-  return s;
-}
-
-}  // namespace
+using prionn::fuzz::mutate;
+using prionn::fuzz::random_bytes;
+using prionn::fuzz::random_scriptish;
 
 class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -165,4 +143,84 @@ TEST(StringUtilAdversarial, SplitLinesOnPathologicalInput) {
   EXPECT_EQ(prionn::util::split_lines("\n\n\n").size(), 3u);
   EXPECT_EQ(prionn::util::split_lines("\r\n").size(), 1u);
   EXPECT_EQ(prionn::util::split_lines(std::string(1, '\0')).size(), 1u);
+}
+
+namespace {
+
+void drive(prionn::fuzz::FuzzEntry entry, const std::string& bytes) {
+  entry(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+}
+
+/// A well-formed checkpoint frame around `payload`.
+std::string frame_of(const std::string& payload) {
+  std::ostringstream os(std::ios::binary);
+  prionn::core::write_checkpoint(os, payload);
+  return std::move(os).str();
+}
+
+}  // namespace
+
+// Every harness entry point survives raw noise and structure-aware
+// mutations of a valid document — the same property the fuzzers check,
+// pinned here so GCC-only environments still run a small randomized
+// sweep on every ctest invocation.
+class HarnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HarnessSweep, AllEntryPointsSurviveRandomBytes) {
+  const auto seed = GetParam();
+  for (const auto& h : prionn::fuzz::harnesses()) {
+    SCOPED_TRACE(h.name);
+    drive(h.entry, random_bytes(1024, seed));
+    drive(h.entry, random_bytes(7, seed ^ 0xabcdef));
+    drive(h.entry, "");
+  }
+}
+
+TEST_P(HarnessSweep, CheckpointFrameSurvivesMutatedFrames) {
+  const auto seed = GetParam();
+  const std::string valid = frame_of("payload bytes for mutation");
+  for (std::uint64_t i = 0; i < 16; ++i)
+    drive(prionn::fuzz::fuzz_checkpoint_frame, mutate(valid, seed * 97 + i));
+}
+
+TEST_P(HarnessSweep, ScriptHarnessSurvivesScriptishGarbage) {
+  drive(prionn::fuzz::fuzz_script_image, random_scriptish(60, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HarnessSweep,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+// Frame-level resume property: a truncated checkpoint frame must be
+// rejected with CheckpointError at EVERY truncation point — the torn
+// write modelled by the resilience layer, which relies on the reader
+// never accepting a prefix.
+TEST(CheckpointFrameFuzz, EveryTruncationIsRejected) {
+  const std::string full = frame_of("resume state 0123456789");
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::istringstream is(full.substr(0, cut), std::ios::binary);
+    EXPECT_THROW(prionn::core::read_checkpoint(is),
+                 prionn::core::CheckpointError)
+        << "prefix of " << cut << " bytes accepted";
+  }
+  // And the whole frame still reads back.
+  std::istringstream is(full, std::ios::binary);
+  EXPECT_EQ(prionn::core::read_checkpoint(is), "resume state 0123456789");
+}
+
+// Truncating valid JSON anywhere must yield nullopt or a parse that
+// re-serialises to a fixpoint — never a crash or an exception.
+TEST(ObsJsonFuzz, TruncatedDocumentsParseOrRejectCleanly) {
+  const std::string doc =
+      R"({"accepted":true,"loss":[0.5,0.25],"name":"x\"y","v":-1.5e-3})";
+  for (std::size_t cut = 0; cut <= doc.size(); ++cut) {
+    const std::string prefix = doc.substr(0, cut);
+    const auto parsed = prionn::obs::json_parse(prefix);
+    if (parsed) {
+      const auto once = prionn::obs::json_serialize(*parsed);
+      const auto again = prionn::obs::json_parse(once);
+      ASSERT_TRUE(again.has_value()) << prefix;
+      EXPECT_EQ(prionn::obs::json_serialize(*again), once) << prefix;
+    }
+    drive(prionn::fuzz::fuzz_obs_json, prefix);
+  }
 }

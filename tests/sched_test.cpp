@@ -224,8 +224,11 @@ TEST(Snapshot, PerfectPredictionsValidAndExactForFinalJob) {
   }
   sim.drain();
   const std::uint64_t last = jobs.back().id;
-  for (const auto& s : sim.completed())
-    if (s.id == last) EXPECT_NEAR(predicted[last], s.turnaround(), 2.0);
+  for (const auto& s : sim.completed()) {
+    if (s.id == last) {
+      EXPECT_NEAR(predicted[last], s.turnaround(), 2.0);
+    }
+  }
 }
 
 TEST(Snapshot, ExactWhenNoContention) {

@@ -74,8 +74,9 @@ TEST_P(RngIntRange, BoundsRespectedAndCovered) {
     seen.insert(v);
   }
   // Narrow ranges must be fully covered.
-  if (hi - lo < 16)
+  if (hi - lo < 16) {
     EXPECT_EQ(seen.size(), static_cast<std::size_t>(hi - lo + 1));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Ranges, RngIntRange,

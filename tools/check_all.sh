@@ -6,10 +6,11 @@
 #   tools/check_all.sh format tidy     # just the static stages
 #   tools/check_all.sh address thread  # just those sanitizer suites
 #
-# Stages: format, tidy, release, obs-off, address, undefined, thread.
-# Stages whose tooling is unavailable (no clang-format / clang-tidy on
-# PATH) are reported as SKIPPED and do not fail the gate; sanitizer and
-# test stages always run and must pass.
+# Stages: format, tidy, release, obs-off, address, undefined, thread,
+# tsa, fuzz-smoke.
+# Stages whose tooling is unavailable (no clang-format / clang-tidy /
+# clang++ on PATH) are reported as SKIPPED and do not fail the gate;
+# sanitizer and test stages always run and must pass.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,7 +20,7 @@ jobs="$(nproc 2>/dev/null || echo 2)"
 suppressions="$repo_root/tools/sanitizer-suppressions.txt"
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(format tidy release obs-off address undefined thread)
+  stages=(format tidy release obs-off address undefined thread tsa fuzz-smoke)
 fi
 
 declare -a results=()
@@ -83,9 +84,60 @@ for stage in "${stages[@]}"; do
     address)   run_suite asan address ;;
     undefined) run_suite ubsan undefined ;;
     thread)    run_suite tsan thread ;;
+    tsa)
+      # Thread-safety analysis (clang capability attributes): compile-only
+      # gate — a -Wthread-safety diagnostic is a locking bug.
+      if command -v clang++ >/dev/null 2>&1; then
+        note "thread-safety analysis build (PRIONN_TSA=ON, clang)"
+        cmake -B build-check-tsa -S . \
+          -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_CXX_COMPILER=clang++ \
+          -DPRIONN_TSA=ON >/dev/null
+        cmake --build build-check-tsa -j "$jobs"
+        record "PASS  tsa"
+      else
+        record "SKIP  tsa (clang++ not on PATH)"
+      fi
+      ;;
+    fuzz-smoke)
+      # Bounded coverage-guided run of every libFuzzer harness under
+      # ASan+UBSan, seeded from the committed corpora. ~60s per harness:
+      # a smoke pass that catches shallow regressions, not a campaign.
+      if command -v clang++ >/dev/null 2>&1; then
+        note "fuzz smoke (PRIONN_FUZZ=ON, clang, ${FUZZ_SMOKE_SECONDS:-60}s/harness)"
+        cmake -B build-check-fuzz -S . \
+          -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_CXX_COMPILER=clang++ \
+          -DPRIONN_FUZZ=ON >/dev/null
+        cmake --build build-check-fuzz -j "$jobs"
+        mkdir -p build-check-fuzz/fuzz-artifacts
+        for target in build-check-fuzz/fuzz/fuzz_*; do
+          name="$(basename "$target")"
+          [ "$name" = "fuzz_regression" ] && continue
+          corpus="fuzz/corpus/${name#fuzz_}"
+          # Scratch working corpus: libFuzzer writes new inputs into its
+          # first corpus dir, and the committed seeds must stay pristine.
+          scratch="build-check-fuzz/corpus-work/${name#fuzz_}"
+          rm -rf "$scratch" && mkdir -p "$scratch"
+          cp "$corpus"/* "$scratch"/
+          note "fuzz smoke: $name"
+          env ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+              UBSAN_OPTIONS="print_stacktrace=1" \
+              LSAN_OPTIONS="suppressions=$suppressions" \
+            "$target" -max_total_time="${FUZZ_SMOKE_SECONDS:-60}" \
+              -dict=fuzz/prionn.dict -print_final_stats=1 \
+              -artifact_prefix=build-check-fuzz/fuzz-artifacts/ \
+              "$scratch"
+        done
+        record "PASS  fuzz-smoke"
+      else
+        record "SKIP  fuzz-smoke (clang++ not on PATH)"
+      fi
+      ;;
     *)
       echo "unknown stage: $stage" >&2
-      echo "stages: format tidy release obs-off address undefined thread" >&2
+      echo "stages: format tidy release obs-off address undefined thread" \
+           "tsa fuzz-smoke" >&2
       exit 2
       ;;
   esac
