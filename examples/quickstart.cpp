@@ -67,11 +67,21 @@ int main(int argc, char** argv) {
   std::printf("write bw accuracy:  mean %.1f%%, median %.1f%%\n",
               100.0 * util::mean(write_acc), 100.0 * util::median(write_acc));
 
-  // 4. Predict one more job with the trained model.
-  const auto& last = jobs.back();
-  auto prediction = trainer.predictor().predict(last.script);
-  std::printf("\nlast job (%s): actual %.0f min, predicted %.0f min\n",
-              last.job_name.c_str(), last.runtime_minutes,
-              prediction.runtime_minutes);
+  // 4. Predict a few more jobs with the trained model. predict_batch is
+  //    THE inference path — one forward pass per head for the whole
+  //    span, with per-head confidence alongside each value.
+  std::vector<std::string> scripts;
+  for (std::size_t i = jobs.size() - 3; i < jobs.size(); ++i)
+    scripts.push_back(jobs[i].script);
+  const auto batch = trainer.predictor().predict_batch(
+      std::span<const std::string>(scripts));
+  std::printf("\n");
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const auto& job = jobs[jobs.size() - 3 + k];
+    std::printf("job %s: actual %.0f min, predicted %.0f min "
+                "(confidence %.2f)\n",
+                job.job_name.c_str(), job.runtime_minutes,
+                batch[k].value.runtime_minutes, batch[k].runtime_confidence);
+  }
   return 0;
 }

@@ -76,7 +76,9 @@ ProvenancedPrediction FallbackPredictor::predict(
                  "predictions served at submission time");
   ProvenancedPrediction out;
   if (nn && nn->trained()) {
-    const auto confident = nn->predict_with_confidence(job.script);
+    const auto confident =
+        nn->predict_batch(std::span<const std::string>(&job.script, 1))
+            .front();
     if (confident.runtime_confidence >= options_.min_confidence &&
         std::isfinite(confident.value.runtime_minutes)) {
       out.value = confident.value;

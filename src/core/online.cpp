@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <queue>
+#include <span>
 #include <stdexcept>
+#include <string>
 
 #include "obs/obs.hpp"
 #include "util/timer.hpp"
 
 namespace prionn::core {
+
+void OnlineProtocolOptions::validate(const char* who) const {
+  const auto fail = [who](const char* what) {
+    throw std::invalid_argument(std::string(who) + ": " + what);
+  };
+  if (retrain_interval == 0) fail("retrain_interval must be > 0");
+  if (train_window == 0) fail("train_window must be > 0");
+  if (embedding_corpus == 0) fail("embedding_corpus must be > 0");
+}
 
 std::vector<std::size_t> OnlineResult::predicted_indices() const {
   std::vector<std::size_t> out;
@@ -18,8 +29,7 @@ std::vector<std::size_t> OnlineResult::predicted_indices() const {
 
 OnlineTrainer::OnlineTrainer(OnlineOptions options)
     : options_(options), predictor_(options.predictor) {
-  if (options_.retrain_interval == 0 || options_.train_window == 0)
-    throw std::invalid_argument("OnlineTrainer: intervals must be > 0");
+  options_.validate("OnlineTrainer");
 }
 
 OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
@@ -41,7 +51,6 @@ OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
       options_.predictor.image.transform != Transform::kWord2Vec;
   std::size_t submissions_since_train = 0;
 
-  util::Timer stopwatch;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const auto& job = jobs[i];
     // Advance the completion pool to this submission instant.
@@ -84,17 +93,17 @@ OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
         for (std::size_t k = completed.size() - corpus_size;
              k < completed.size(); ++k)
           corpus.push_back(jobs[completed[k]].script);
-        stopwatch.reset();
+        const std::uint64_t t0 = util::Timer::now_ns();
         predictor_.fit_embedding(corpus);
-        result.train_seconds += stopwatch.seconds();
+        result.train_ns += util::Timer::now_ns() - t0;
         embedding_ready = true;
       }
 
       {
         PRIONN_OBS_SPAN("online.retrain");
-        stopwatch.reset();
+        const std::uint64_t t0 = util::Timer::now_ns();
         predictor_.train(recent);
-        result.train_seconds += stopwatch.seconds();
+        result.train_ns += util::Timer::now_ns() - t0;
       }
       PRIONN_OBS_INC("prionn_retrains_total",
                      "training events of the online protocol");
@@ -103,10 +112,13 @@ OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
     }
 
     if (predictor_.trained()) {
-      stopwatch.reset();
-      result.predictions[i] = predictor_.predict(job.script);
-      const std::uint64_t elapsed_ns = stopwatch.elapsed_ns();
-      result.predict_seconds += static_cast<double>(elapsed_ns) / 1e9;
+      const std::uint64_t t0 = util::Timer::now_ns();
+      result.predictions[i] =
+          predictor_.predict_batch(std::span<const std::string>(&job.script, 1))
+              .front()
+              .value;
+      const std::uint64_t elapsed_ns = util::Timer::now_ns() - t0;
+      result.predict_ns += elapsed_ns;
       PRIONN_OBS_INC("prionn_predictions_total",
                      "predictions served at submission time");
       PRIONN_OBS_OBSERVE_NS("prionn_predict_latency_ns",
@@ -115,6 +127,14 @@ OnlineResult OnlineTrainer::run(const std::vector<trace::JobRecord>& jobs) {
     ++submissions_since_train;
     in_flight.push(i);
   }
+  result.train_seconds = static_cast<double>(result.train_ns) / 1e9;
+  result.predict_seconds = static_cast<double>(result.predict_ns) / 1e9;
+  PRIONN_OBS_GAUGE_SET("prionn_online_train_seconds",
+                       "total monotonic time in training during a replay",
+                       result.train_seconds);
+  PRIONN_OBS_GAUGE_SET("prionn_online_predict_seconds",
+                       "total monotonic time in inference during a replay",
+                       result.predict_seconds);
   return result;
 }
 

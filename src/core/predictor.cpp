@@ -82,13 +82,18 @@ void PrionnPredictor::set_embedding(embed::CharEmbedding embedding) {
 }
 
 tensor::Tensor PrionnPredictor::map_batch(
-    const std::vector<std::string>& scripts) const {
+    std::span<const std::string> scripts) const {
   // The script->image transform (incl. the embedding lookup for word2vec)
   // is the first leg of the per-job hot path.
   PRIONN_OBS_SPAN("predict.map_image");
   const bool two_d = options_.model == ModelKind::kCnn2d;
   return two_d ? mapper().map_batch_2d(scripts)
                : mapper().map_batch_1d(scripts);
+}
+
+tensor::Tensor PrionnPredictor::map_sample(std::string_view script) const {
+  const bool two_d = options_.model == ModelKind::kCnn2d;
+  return two_d ? mapper().map_2d(script) : mapper().map_1d(script);
 }
 
 PrionnPredictor::TrainReport PrionnPredictor::train(
@@ -138,39 +143,55 @@ PrionnPredictor::TrainReport PrionnPredictor::train(
   return report;
 }
 
-JobPrediction PrionnPredictor::predict(const std::string& script) {
-  return predict(std::vector<std::string>{script}).front();
-}
-
-PrionnPredictor::ConfidentPrediction
-PrionnPredictor::predict_with_confidence(const std::string& script) {
+std::vector<ConfidentPrediction> PrionnPredictor::predict_batch(
+    std::span<const std::string> scripts) {
   if (!trained_)
     throw std::logic_error("PrionnPredictor::predict: model not trained");
-  const tensor::Tensor batch = map_batch({script});
+  if (scripts.empty()) return {};
+  return predict_batch_mapped(map_batch(scripts));
+}
 
+std::vector<ConfidentPrediction> PrionnPredictor::predict_batch_mapped(
+    const tensor::Tensor& batch) {
+  if (!trained_)
+    throw std::logic_error("PrionnPredictor::predict: model not trained");
+  if (batch.empty()) return {};
   PRIONN_OBS_SPAN("predict.forward");
-  ConfidentPrediction out;
-  const auto head = [&](nn::Network& net) {
-    const tensor::Tensor probs = net.predict_probabilities(batch);
-    const std::size_t cls = tensor::argmax(probs.span());
-    return std::pair<std::size_t, double>(cls,
-                                          static_cast<double>(probs[cls]));
-  };
-  const auto [runtime_cls, runtime_conf] = head(runtime_net_);
-  out.value.runtime_minutes = std::max(
-      1.0, runtime_bins_.minutes_of(static_cast<std::uint32_t>(runtime_cls)));
-  out.runtime_confidence = runtime_conf;
+  const std::size_t n = batch.dim(0);
+
+  const auto runtime_top = runtime_net_.predict_top1(batch);
+  std::vector<nn::Network::Top1> read_top, write_top;
   if (options_.predict_io) {
-    const auto [read_cls, read_conf] = head(read_net_);
-    const auto [write_cls, write_conf] = head(write_net_);
-    out.value.bytes_read =
-        io_bins_.bytes_of(static_cast<std::uint32_t>(read_cls));
-    out.value.bytes_written =
-        io_bins_.bytes_of(static_cast<std::uint32_t>(write_cls));
-    out.read_confidence = read_conf;
-    out.write_confidence = write_conf;
+    read_top = read_net_.predict_top1(batch);
+    write_top = write_net_.predict_top1(batch);
+  }
+
+  std::vector<ConfidentPrediction> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // A zero-minute prediction would produce an infinite bandwidth; the
+    // shortest representable job is one minute, as in the generator.
+    out[i].value.runtime_minutes =
+        std::max(1.0, runtime_bins_.minutes_of(runtime_top[i].cls));
+    out[i].runtime_confidence = runtime_top[i].probability;
+    if (options_.predict_io) {
+      out[i].value.bytes_read = io_bins_.bytes_of(read_top[i].cls);
+      out[i].value.bytes_written = io_bins_.bytes_of(write_top[i].cls);
+      out[i].read_confidence = read_top[i].probability;
+      out[i].write_confidence = write_top[i].probability;
+    }
   }
   return out;
+}
+
+JobPrediction PrionnPredictor::predict(const std::string& script) {
+  return predict_batch(std::span<const std::string>(&script, 1))
+      .front()
+      .value;
+}
+
+ConfidentPrediction PrionnPredictor::predict_with_confidence(
+    const std::string& script) {
+  return predict_batch(std::span<const std::string>(&script, 1)).front();
 }
 
 namespace {
@@ -314,28 +335,10 @@ PrionnPredictor PrionnPredictor::load(std::istream& is) {
 
 std::vector<JobPrediction> PrionnPredictor::predict(
     const std::vector<std::string>& scripts) {
-  if (!trained_)
-    throw std::logic_error("PrionnPredictor::predict: model not trained");
-  const tensor::Tensor batch = map_batch(scripts);
-  PRIONN_OBS_SPAN("predict.forward");
-  const auto runtime_cls = runtime_net_.predict_classes(batch);
-  std::vector<std::uint32_t> read_cls, write_cls;
-  if (options_.predict_io) {
-    read_cls = read_net_.predict_classes(batch);
-    write_cls = write_net_.predict_classes(batch);
-  }
-
-  std::vector<JobPrediction> out(scripts.size());
-  for (std::size_t i = 0; i < scripts.size(); ++i) {
-    // A zero-minute prediction would produce an infinite bandwidth; the
-    // shortest representable job is one minute, as in the generator.
-    out[i].runtime_minutes =
-        std::max(1.0, runtime_bins_.minutes_of(runtime_cls[i]));
-    if (options_.predict_io) {
-      out[i].bytes_read = io_bins_.bytes_of(read_cls[i]);
-      out[i].bytes_written = io_bins_.bytes_of(write_cls[i]);
-    }
-  }
+  const auto confident = predict_batch(scripts);
+  std::vector<JobPrediction> out(confident.size());
+  for (std::size_t i = 0; i < confident.size(); ++i)
+    out[i] = confident[i].value;
   return out;
 }
 

@@ -8,7 +8,9 @@
 #include <cmath>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/bins.hpp"
@@ -63,6 +65,18 @@ struct JobPrediction {
   }
 };
 
+/// Prediction plus the classifier's softmax confidence per head — an
+/// IO-aware scheduler or the serving fallback chain can shed to
+/// conservative estimates when the model is unsure (e.g. an unseen
+/// script). This is what the one batch inference path returns; callers
+/// that only want the value take `.value`.
+struct ConfidentPrediction {
+  JobPrediction value;
+  double runtime_confidence = 0.0;  // max softmax probability, (0, 1]
+  double read_confidence = 0.0;
+  double write_confidence = 0.0;
+};
+
 class PrionnPredictor {
  public:
   explicit PrionnPredictor(PredictorOptions options = {});
@@ -95,18 +109,28 @@ class PrionnPredictor {
   bool trained() const noexcept { return trained_; }
   std::size_t training_events() const noexcept { return training_events_; }
 
+  /// THE inference path: one batched forward pass per head over all
+  /// scripts, returning value + per-head confidence for each. Every other
+  /// predict entry point (the single-item wrappers below, both online
+  /// trainers, the fallback chain, the serving subsystem) funnels through
+  /// here, so batched and sequential replay are the same arithmetic.
+  std::vector<ConfidentPrediction> predict_batch(
+      std::span<const std::string> scripts);
+
+  /// Same forward pass over an already-mapped batch tensor (leading axis
+  /// N). The serving layer's encoding cache assembles batches from cached
+  /// per-script samples and skips the data-mapping stage entirely.
+  std::vector<ConfidentPrediction> predict_batch_mapped(
+      const tensor::Tensor& batch);
+
+  /// Map one script to the sample tensor predict_batch_mapped() expects
+  /// (shape (channels, rows, cols) for the 2-D models, (channels, length)
+  /// for 1-D) — the unit the serving encoding cache stores.
+  tensor::Tensor map_sample(std::string_view script) const;
+
+  // Thin single-item / value-only wrappers over predict_batch().
   JobPrediction predict(const std::string& script);
   std::vector<JobPrediction> predict(const std::vector<std::string>& scripts);
-
-  /// Prediction plus the classifier's softmax confidence per head — an
-  /// IO-aware scheduler can fall back to conservative estimates when the
-  /// model is unsure (e.g. an unseen script).
-  struct ConfidentPrediction {
-    JobPrediction value;
-    double runtime_confidence = 0.0;  // max softmax probability, (0, 1]
-    double read_confidence = 0.0;
-    double write_confidence = 0.0;
-  };
   ConfidentPrediction predict_with_confidence(const std::string& script);
 
   const PredictorOptions& options() const noexcept { return options_; }
@@ -124,7 +148,7 @@ class PrionnPredictor {
   static PrionnPredictor load(std::istream& is);
 
  private:
-  tensor::Tensor map_batch(const std::vector<std::string>& scripts) const;
+  tensor::Tensor map_batch(std::span<const std::string> scripts) const;
   void ensure_mapper();
 
   PredictorOptions options_;

@@ -24,10 +24,7 @@ ResilientOnlineTrainer::ResilientOnlineTrainer(ResilientOptions options)
     : options_(std::move(options)),
       predictor_(options_.online.predictor),
       fallback_(options_.fallback) {
-  if (options_.online.retrain_interval == 0 ||
-      options_.online.train_window == 0)
-    throw std::invalid_argument(
-        "ResilientOnlineTrainer: intervals must be > 0");
+  options_.online.validate("ResilientOnlineTrainer");
 }
 
 ResilientResult ResilientOnlineTrainer::run(
@@ -196,12 +193,19 @@ ResilientResult ResilientOnlineTrainer::run(
           accepted = false;
         } else if (!holdback.empty()) {
           PRIONN_OBS_SPAN("serve.holdback_eval");
+          std::vector<std::string> holdback_scripts;
+          holdback_scripts.reserve(holdback.size());
+          for (const auto& h : holdback)
+            holdback_scripts.push_back(h.script);
+          // One batched forward over the whole holdback set — the batch
+          // path is per-sample identical to single-item predicts.
+          const auto predicted = predictor_.predict_batch(holdback_scripts);
           std::size_t correct = 0;
-          for (const auto& h : holdback) {
-            const auto predicted = predictor_.predict(h.script);
+          for (std::size_t h = 0; h < holdback.size(); ++h) {
             if (predictor_.runtime_bins().label_of(
-                    predicted.runtime_minutes) ==
-                predictor_.runtime_bins().label_of(h.runtime_minutes))
+                    predicted[h].value.runtime_minutes) ==
+                predictor_.runtime_bins().label_of(
+                    holdback[h].runtime_minutes))
               ++correct;
           }
           const double accuracy =

@@ -105,7 +105,7 @@ tensor::Tensor ScriptImageMapper::map_1d(std::string_view script) const {
 }
 
 tensor::Tensor ScriptImageMapper::map_batch_2d(
-    const std::vector<std::string>& scripts) const {
+    std::span<const std::string> scripts) const {
   PRIONN_CHECK(channels() > 0)
       << "ScriptImageMapper: transform '"
       << transform_name(options_.transform) << "' yields zero channels";
@@ -126,7 +126,7 @@ tensor::Tensor ScriptImageMapper::map_batch_2d(
 }
 
 tensor::Tensor ScriptImageMapper::map_batch_1d(
-    const std::vector<std::string>& scripts) const {
+    std::span<const std::string> scripts) const {
   tensor::Tensor out = map_batch_2d(scripts);
   out.reshape({scripts.size(), channels(), options_.rows * options_.cols});
   return out;

@@ -9,6 +9,7 @@
 // flattens all lines into one sequence first.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -48,8 +49,10 @@ class ScriptImageMapper {
   tensor::Tensor map_1d(std::string_view script) const;
 
   /// Batch versions: (N, channels, rows, cols) / (N, channels, length).
-  tensor::Tensor map_batch_2d(const std::vector<std::string>& scripts) const;
-  tensor::Tensor map_batch_1d(const std::vector<std::string>& scripts) const;
+  /// Span-based so the serving path can map a window of queued requests
+  /// without first copying them into a vector.
+  tensor::Tensor map_batch_2d(std::span<const std::string> scripts) const;
+  tensor::Tensor map_batch_1d(std::span<const std::string> scripts) const;
 
   const embed::CharEmbedding& embedding() const noexcept {
     return embedding_;

@@ -1,0 +1,52 @@
+#include "core/serve/encoding_cache.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace prionn::core::serve {
+
+EncodingCache::EncodingCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) entries_.reserve(capacity_);
+}
+
+const tensor::Tensor* EncodingCache::find(std::string_view script) {
+  if (capacity_ == 0) {
+    ++misses_;
+    return nullptr;
+  }
+  const auto it = entries_.find(script);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &it->second->sample;
+}
+
+void EncodingCache::insert(std::string_view script, tensor::Tensor sample) {
+  if (capacity_ == 0) return;
+  if (const auto it = entries_.find(script); it != entries_.end()) {
+    it->second->sample = std::move(sample);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    // Evict the map entry first: its key views the list node's storage.
+    entries_.erase(std::string_view(lru_.back().script));
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{std::string(script), std::move(sample)});
+  entries_.emplace(std::string_view(lru_.front().script), lru_.begin());
+  PRIONN_DCHECK(entries_.size() == lru_.size())
+      << "EncodingCache: map/list size skew " << entries_.size() << " vs "
+      << lru_.size();
+}
+
+void EncodingCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace prionn::core::serve

@@ -1,0 +1,66 @@
+// Script-image encoding cache for the serving hot path. The data-mapping
+// stage (crop/pad to the character grid + per-character transform, incl.
+// the word2vec embedding lookup) is a pure function of the script text
+// and the trained embedding, so repeat submissions of the same script —
+// the common case on production clusters, where users resubmit the same
+// job script hundreds of times — can skip it entirely. A model swap
+// invalidates nothing here; only refitting the embedding does (the
+// service clears the cache at that point).
+//
+// Bounded LRU keyed by the full script text: two scripts that differ only
+// beyond the crop window would map to the same image, but keying by the
+// exact text keeps the cache trivially correct. Not internally
+// synchronised — the batcher thread is the only user.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "tensor/tensor.hpp"
+
+namespace prionn::core::serve {
+
+class EncodingCache {
+ public:
+  /// `capacity` = max cached scripts; 0 disables the cache entirely
+  /// (find always misses, insert is a no-op).
+  explicit EncodingCache(std::size_t capacity);
+
+  /// Cached sample tensor for `script`, or nullptr on a miss. A hit
+  /// refreshes the entry's LRU position. The pointer is valid until the
+  /// next insert()/clear().
+  const tensor::Tensor* find(std::string_view script);
+
+  /// Insert (or refresh) the mapped sample for `script`, evicting the
+  /// least-recently-used entry when full.
+  void insert(std::string_view script, tensor::Tensor sample);
+
+  /// Drop everything — called when the embedding is (re)fit, which is the
+  /// one event that changes the script -> image function.
+  void clear();
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    std::string script;
+    tensor::Tensor sample;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  // Keys are string_views into the list entries' own script storage,
+  // which std::list never relocates.
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace prionn::core::serve

@@ -1,0 +1,98 @@
+#include "core/serve/serving_session.hpp"
+
+#include <queue>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/timer.hpp"
+
+namespace prionn::core::serve {
+
+std::vector<std::optional<JobPrediction>> SessionResult::nn_predictions()
+    const {
+  std::vector<std::optional<JobPrediction>> out(predictions.size());
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    if (predictions[i].source == PredictionSource::kNeuralNet)
+      out[i] = predictions[i].value;
+  return out;
+}
+
+ServingSession::ServingSession(SessionOptions options)
+    : options_(std::move(options)) {
+  // The mode owns the retrain policy: deterministic replay drives
+  // training itself, concurrent replay delegates to the service.
+  options_.service.background_retrain =
+      options_.mode == ReplayMode::kConcurrent;
+  service_ = std::make_unique<PredictionService>(options_.service);
+}
+
+SessionResult ServingSession::replay(
+    const std::vector<trace::JobRecord>& jobs) {
+  PRIONN_OBS_SPAN("serve.replay");
+  const std::uint64_t t0 = util::Timer::now_ns();
+  SessionResult result;
+
+  std::vector<std::future<ProvenancedPrediction>> futures;
+  futures.reserve(jobs.size());
+
+  // Same completion model as OnlineTrainer: a min-heap on end_time feeds
+  // the training window as the submission clock advances, so the service
+  // sees completions in the identical order the sequential replay would.
+  const auto later_end = [&jobs](std::size_t a, std::size_t b) {
+    return jobs[a].end_time > jobs[b].end_time;
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(later_end)>
+      in_flight(later_end);
+
+  const bool deterministic = options_.mode == ReplayMode::kDeterministic;
+  const OnlineProtocolOptions& protocol = options_.service.protocol;
+  std::size_t completed = 0;
+  std::size_t submissions_since_train = 0;
+  std::size_t rejected_attempts = 0;
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& job = jobs[i];
+    while (!in_flight.empty() &&
+           jobs[in_flight.top()].end_time <= job.submit_time) {
+      service_->complete(jobs[in_flight.top()]);
+      in_flight.pop();
+      ++completed;
+    }
+
+    if (deterministic) {
+      // OnlineTrainer's cadence, verbatim (plus ResilientOnlineTrainer's
+      // full-interval backoff after a guard-rejected attempt): retrain at
+      // exactly these submissions, with a flush() barrier first so every
+      // outstanding request is served by the pre-retrain model.
+      const bool trained = service_->trained();
+      bool due;
+      if (!trained) {
+        due = completed >= protocol.min_initial_completions &&
+              (rejected_attempts == 0 ||
+               submissions_since_train >= protocol.retrain_interval);
+      } else {
+        due = submissions_since_train >= protocol.retrain_interval;
+      }
+      if (due && completed > 0 && !service_->stats().nn_benched) {
+        service_->flush();
+        if (!service_->retrain_now()) ++rejected_attempts;
+        submissions_since_train = 0;
+      }
+    }
+
+    futures.push_back(service_->submit(job));
+    ++submissions_since_train;
+    in_flight.push(i);
+  }
+
+  service_->flush();
+  result.predictions.reserve(futures.size());
+  for (auto& f : futures) result.predictions.push_back(f.get());
+  result.training_events = service_->training_events();
+  result.stats = service_->stats();
+  result.replay_ns = util::Timer::now_ns() - t0;
+  return result;
+}
+
+}  // namespace prionn::core::serve

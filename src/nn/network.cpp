@@ -203,6 +203,25 @@ Tensor Network::predict_probabilities(const Tensor& inputs) {
   return softmax_probabilities(forward(inputs, /*training=*/false));
 }
 
+std::vector<Network::Top1> Network::predict_top1(const Tensor& inputs) {
+  const Tensor logits = forward(inputs, /*training=*/false);
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  std::vector<Top1> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::span<const float> row(logits.data() + i * c, c);
+    const std::size_t cls = tensor::argmax(row);
+    // Stable softmax anchored at the winning logit: the argmax logit is
+    // the row maximum, so every exponent is <= 0 and the sum is >= 1.
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j)
+      denom += std::exp(static_cast<double>(row[j]) -
+                        static_cast<double>(row[cls]));
+    out[i].cls = static_cast<std::uint32_t>(cls);
+    out[i].probability = 1.0 / denom;
+  }
+  return out;
+}
+
 double Network::accuracy(const Tensor& inputs,
                          std::span<const std::uint32_t> labels) {
   const auto pred = predict_classes(inputs);

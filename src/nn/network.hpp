@@ -94,6 +94,16 @@ class Network {
   /// Softmax probability rows (N x C).
   Tensor predict_probabilities(const Tensor& inputs);
 
+  /// Argmax class plus its softmax probability, per sample. One forward
+  /// pass and no N x C probability tensor — the serving batch path wants
+  /// both the class and a confidence without paying for the full softmax
+  /// materialisation.
+  struct Top1 {
+    std::uint32_t cls = 0;
+    double probability = 0.0;  // max softmax probability, (0, 1]
+  };
+  std::vector<Top1> predict_top1(const Tensor& inputs);
+
   /// Fraction of samples whose argmax matches the label.
   double accuracy(const Tensor& inputs,
                   std::span<const std::uint32_t> labels);

@@ -5,6 +5,7 @@
 // the standard-library object plus attributes the compiler erases.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <utility>
@@ -69,6 +70,19 @@ class CondVar {
     std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
     cv_.wait(lk, std::move(pred));
     lk.release();
+  }
+
+  /// Timed wait: returns the predicate's value when the wait ends (false
+  /// means the deadline passed first). Used by deadline-driven loops such
+  /// as the serving micro-batcher, which waits for more requests only
+  /// until the oldest one's latency budget runs out.
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+                Predicate pred) PRIONN_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.native(), std::adopt_lock);
+    const bool ok = cv_.wait_for(lk, timeout, std::move(pred));
+    lk.release();
+    return ok;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

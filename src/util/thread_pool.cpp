@@ -74,6 +74,9 @@ void ThreadPool::parallel_for_chunks(
     fn(begin, end);
     return;
   }
+  // One loop at a time: the single task_ slot and the generation protocol
+  // assume exactly one submitter, so concurrent callers queue here.
+  ScopedLock submit_lock(submit_mutex_);
   // Workers with id >= chunks still wake and decrement remaining_, so the
   // partition below stays exact only while chunks <= workers + 1.
   PRIONN_CHECK(chunks <= workers_.size() + 1)

@@ -30,6 +30,12 @@ class ThreadPool {
   /// Run fn(begin..end) partitioned across the pool (including the calling
   /// thread). Blocks until every iteration has completed. `fn` receives
   /// (index). Exceptions thrown by fn propagate to the caller (first one).
+  /// Safe to call from multiple threads at once: concurrent loops are
+  /// serialised on a submission lock (the pool has one task slot), so a
+  /// serving thread and a background retrain can share the global pool —
+  /// they interleave at per-loop granularity rather than corrupting the
+  /// task state. Do not nest parallel_for inside a worker body: the
+  /// submission lock is not reentrant.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -59,6 +65,9 @@ class ThreadPool {
   void run_chunk(const Task& task, std::size_t chunk_id);
 
   std::vector<std::thread> workers_;
+  /// Held for the whole duration of one parallel_for_chunks call: the
+  /// pool has a single task_ slot, so concurrent submitters take turns.
+  Mutex submit_mutex_;
   Mutex mutex_;
   CondVar cv_start_;
   CondVar cv_done_;

@@ -7,7 +7,7 @@
 #   tools/check_all.sh address thread  # just those sanitizer suites
 #
 # Stages: format, tidy, release, obs-off, address, undefined, thread,
-# tsa, fuzz-smoke.
+# tsa, serve, fuzz-smoke.
 # Stages whose tooling is unavailable (no clang-format / clang-tidy /
 # clang++ on PATH) are reported as SKIPPED and do not fail the gate;
 # sanitizer and test stages always run and must pass.
@@ -18,9 +18,14 @@ cd "$repo_root"
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 suppressions="$repo_root/tools/sanitizer-suppressions.txt"
+# Every suite in tests/serve_test.cpp, for builds where only that target
+# (plus its ctest discovery stub) exists.
+serve_tests='EncodingCache|ServeOptions|OnlineProtocol|Serving'
+serve_tests+='|PredictionService|OnlineResult|BatchedPrediction'
 stages=("$@")
 if [ ${#stages[@]} -eq 0 ]; then
-  stages=(format tidy release obs-off address undefined thread tsa fuzz-smoke)
+  stages=(format tidy release obs-off address undefined thread tsa serve
+          fuzz-smoke)
 fi
 
 declare -a results=()
@@ -99,6 +104,29 @@ for stage in "${stages[@]}"; do
         record "SKIP  tsa (clang++ not on PATH)"
       fi
       ;;
+    serve)
+      # Serving subsystem gate, both halves: the PredictionService
+      # concurrency tests under TSan (submit/retrain/swap races), then
+      # the unsanitized micro_serve binary whose exit status enforces
+      # bit-exact replay, throughput >= sequential, and the 2x retrain
+      # p99 ceiling. The 'thread' and 'release' stages cover these tests
+      # too; this stage is the quick loop for serving-path changes.
+      note "serve: PredictionService tests under TSan"
+      cmake -B build-check-serve-tsan -S . \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DPRIONN_SANITIZE=thread >/dev/null
+      cmake --build build-check-serve-tsan -j "$jobs" --target serve_test
+      env TSAN_OPTIONS="halt_on_error=1:suppressions=$suppressions" \
+        ctest --test-dir build-check-serve-tsan --output-on-failure \
+          -j "$jobs" -R "$serve_tests"
+      note "serve: micro_serve gate (unsanitized)"
+      cmake -B build-check-serve -S . \
+        -DCMAKE_BUILD_TYPE=Release \
+        -DPRIONN_SANITIZE=off >/dev/null
+      cmake --build build-check-serve -j "$jobs" --target micro_serve
+      ctest --test-dir build-check-serve --output-on-failure -R micro_serve
+      record "PASS  serve"
+      ;;
     fuzz-smoke)
       # Bounded coverage-guided run of every libFuzzer harness under
       # ASan+UBSan, seeded from the committed corpora. ~60s per harness:
@@ -137,7 +165,7 @@ for stage in "${stages[@]}"; do
     *)
       echo "unknown stage: $stage" >&2
       echo "stages: format tidy release obs-off address undefined thread" \
-           "tsa fuzz-smoke" >&2
+           "tsa serve fuzz-smoke" >&2
       exit 2
       ;;
   esac
